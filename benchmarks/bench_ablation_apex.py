@@ -1,0 +1,23 @@
+"""Ablation: Ape-X actor-count scaling.
+
+Expectation: at equal coordinator cycles, more actors gather more
+experience, so the 4-actor variant converges at least as fast (mean
+periodic-test reward) as the single-actor variant.
+"""
+
+from repro.experiments.ablations import ablation_apex_actors
+
+
+def test_ablation_apex_actors(benchmark, once, capsys):
+    rows, report = once(
+        benchmark, ablation_apex_actors, actor_counts=(1, 2, 4), cycles=24, test_every=8
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    by_variant = {r.variant: r for r in rows}
+    assert by_variant["4 actor(s)"].final_reward > 0.5
+    assert (
+        by_variant["4 actor(s)"].auc_reward
+        > 0.8 * by_variant["1 actor(s)"].auc_reward
+    )

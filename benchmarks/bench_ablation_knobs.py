@@ -1,0 +1,21 @@
+"""Ablation: per-knob contribution to the learned MaxT policy.
+
+Expectation: the full five-knob action space wins; freezing the CPU
+share (the strongest single lever at line-rate load) costs the most
+throughput.
+"""
+
+from repro.experiments.ablations import ablation_knobs
+
+
+def test_ablation_knobs(benchmark, once, capsys):
+    rows, report = once(benchmark, ablation_knobs, episodes=40, test_every=20)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    by_variant = {r.variant: r for r in rows}
+    full = by_variant["all-knobs"]
+    assert full.final_reward > 0.55
+    # Freezing cpu_share at the Baseline's 1 core must cost throughput.
+    frozen_share = by_variant["frozen:cpu_share"]
+    assert frozen_share.final_throughput_gbps < full.final_throughput_gbps

@@ -1,0 +1,21 @@
+"""Ablation: prioritized vs. uniform experience replay.
+
+Expectation (the Ape-X/PER claim): prioritization should not *hurt* —
+its convergence-speed summary (mean periodic-test reward) lands at or
+above uniform replay's on this workload.
+"""
+
+from repro.experiments.ablations import ablation_per
+
+
+def test_ablation_per(benchmark, once, capsys):
+    rows, report = once(benchmark, ablation_per, episodes=50, test_every=10)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    per = next(r for r in rows if r.variant == "prioritized")
+    uni = next(r for r in rows if r.variant == "uniform")
+    # Both must learn; PER must be competitive on convergence speed.
+    assert per.final_reward > 0.5
+    assert uni.final_reward > 0.5
+    assert per.auc_reward > 0.8 * uni.auc_reward

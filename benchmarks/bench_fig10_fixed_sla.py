@@ -1,0 +1,29 @@
+"""Figure 10: trained policies deployed under fixed SLA constraints.
+
+Paper shape: the MaxTh policy settles at a high throughput without
+violating its fixed energy cap; the MinE policy holds the 7.5 Gbps floor
+while keeping window energy low.  Early intervals may oscillate; the
+back half of the run must be stable and compliant.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10_fixed_sla
+
+
+def test_fig10_fixed_sla(benchmark, once, capsys):
+    series, report = once(
+        benchmark, fig10_fixed_sla, duration_s=120.0, train_episodes=60, seed=13
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    maxt, mine = series
+    # Steady-state (second half) behaviour.
+    half = len(maxt.t_s) // 2
+    assert float(np.mean(maxt.throughput_gbps[half:])) > 6.0
+    assert maxt.satisfied_frac > 0.8
+    assert float(np.mean(mine.throughput_gbps[half:])) > 7.0
+    assert mine.satisfied_frac > 0.8
+    # MinE's windowed energy stays below the MaxTh cap region.
+    assert float(np.mean(mine.window_energy_j[half:])) < 1100.0

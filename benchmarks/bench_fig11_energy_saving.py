@@ -1,0 +1,24 @@
+"""Figure 11: amortized energy saving including RL training cost.
+
+Paper shape: with the one-off training energy charged against the
+deployment, net savings are already positive within the first hour
+(paper: 23%) and climb toward the steady-state saving (paper: 62% by
+hour 6).
+"""
+
+import numpy as np
+
+from repro.experiments import fig11_energy_saving
+
+
+def test_fig11_energy_saving(benchmark, once, capsys):
+    result, report = once(
+        benchmark, fig11_energy_saving, train_episodes=60, measure_intervals=30, seed=17
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert np.all(np.diff(result.saving_pct) > 0)  # monotone amortization
+    assert result.saving_pct[0] > 0.0  # positive within hour 1
+    assert result.saving_pct[-1] > 30.0  # strong saving by hour 6
+    assert result.steady_state_saving_pct > 40.0

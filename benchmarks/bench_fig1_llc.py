@@ -1,0 +1,19 @@
+"""Figure 1: LLC-split micro-benchmark (miss rate / throughput / Energy-MP).
+
+Paper shape: C1 (13 Mpps) is fast at the flow-proportional (90%, 10%)
+split; shrinking C1's share inflates its miss rate, collapses its
+throughput and inflates its Energy/MP, while the small C2 flow stays
+stable.
+"""
+
+from repro.experiments import fig1_llc_split
+
+
+def test_fig1_llc_split(benchmark, once, capsys):
+    rows, report = once(benchmark, fig1_llc_split)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert rows[0].c1_throughput_gbps > 2.5 * rows[-1].c1_throughput_gbps
+    assert rows[-1].c1_energy_per_mp > rows[0].c1_energy_per_mp
+    assert rows[-1].c1_miss_rate > rows[0].c1_miss_rate

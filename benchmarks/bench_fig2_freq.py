@@ -1,0 +1,20 @@
+"""Figure 2: DVFS micro-benchmark (throughput + energy vs. frequency).
+
+Paper shape: both packet-processing rate and energy rise with frequency,
+non-linearly (the energy curve is convex through the cubic dynamic-power
+term).
+"""
+
+from repro.experiments import fig2_freq_sweep
+
+
+def test_fig2_freq_sweep(benchmark, once, capsys):
+    rows, report = once(benchmark, fig2_freq_sweep)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    ts = [r.throughput_gbps for r in rows]
+    es = [r.energy_j for r in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(ts, ts[1:]))
+    assert all(b >= a for a, b in zip(es, es[1:]))
+    assert (es[-1] - es[-2]) > (es[1] - es[0])  # convexity

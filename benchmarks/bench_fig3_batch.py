@@ -1,0 +1,24 @@
+"""Figure 3: batch-size micro-benchmark (throughput/energy + misses).
+
+Paper shape: throughput rises with batch size to a peak near 150-200
+packets and then declines; the miss curve is U-shaped; fixed-volume
+energy is minimized near the throughput peak.
+"""
+
+import numpy as np
+
+from repro.experiments import fig3_batch_sweep
+
+
+def test_fig3_batch_sweep(benchmark, once, capsys):
+    rows, report = once(benchmark, fig3_batch_sweep)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    ts = [r.throughput_gbps for r in rows]
+    ms = [r.misses_per_packet for r in rows]
+    peak = int(np.argmax(ts))
+    assert 0 < peak < len(ts) - 1
+    assert 100 <= rows[peak].batch_size <= 250
+    mmin = int(np.argmin(ms))
+    assert 0 < mmin < len(ms) - 1

@@ -1,0 +1,26 @@
+"""Figure 4: DMA-buffer micro-benchmark (throughput + Energy/MP, 2 sizes).
+
+Paper shape: throughput rises steadily with buffer size and plateaus;
+Energy/MP falls with throughput and turns back up once the ring overflows
+the DDIO-reachable capacity; 64 B frames reach lower Gbps than 1518 B.
+"""
+
+import numpy as np
+
+from repro.experiments import fig4_dma_sweep
+
+
+def test_fig4_dma_sweep(benchmark, once, capsys):
+    rows, report = once(benchmark, fig4_dma_sweep)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    for pkt in (64.0, 1518.0):
+        series = sorted(
+            (r for r in rows if r.packet_bytes == pkt), key=lambda r: r.dma_mb
+        )
+        ts = [r.throughput_gbps for r in series]
+        es = [r.energy_per_mp for r in series]
+        assert all(b >= a - 1e-9 for a, b in zip(ts, ts[1:]))
+        emin = int(np.argmin(es))
+        assert es[-1] > es[emin]

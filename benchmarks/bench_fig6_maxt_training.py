@@ -1,0 +1,22 @@
+"""Figure 6: Maximum-Throughput SLA training curves.
+
+Paper shape: tested throughput climbs over training while energy stays
+pinned under the SLA cap; batch size / LLC / DMA knobs are tuned up and
+CPU frequency settles below maximum to respect the energy constraint.
+"""
+
+from repro.experiments import fig6_max_throughput
+
+
+def test_fig6_maxt_training(benchmark, once, capsys):
+    result, report = once(
+        benchmark, fig6_max_throughput, episodes=60, test_every=10, episode_len=16
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    hist = result.history
+    assert hist.final.throughput_gbps > 1.8 * hist.records[0].throughput_gbps
+    assert hist.final.sla_satisfied_frac > 0.9
+    # Knobs tuned up from the untrained policy's midpoint.
+    assert hist.final.batch_size > hist.records[0].batch_size

@@ -1,0 +1,22 @@
+"""Figure 7: Minimum-Energy SLA training curves.
+
+Paper shape: the model learns to hold the 7.5 Gbps floor while walking
+energy down; at convergence throughput sits just above the constraint and
+per-episode energy is far below the starting configurations'.
+"""
+
+from repro.experiments import fig7_min_energy
+
+
+def test_fig7_mine_training(benchmark, once, capsys):
+    result, report = once(
+        benchmark, fig7_min_energy, episodes=80, test_every=10, episode_len=16, seed=23
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    hist = result.history
+    assert hist.final.sla_satisfied_frac > 0.8
+    assert hist.final.throughput_gbps > 7.0
+    # Energy per interval well below the baseline's ~81.5 J.
+    assert hist.final.energy_j / 16 < 55.0

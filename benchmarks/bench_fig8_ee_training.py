@@ -1,0 +1,19 @@
+"""Figure 8: Energy-Efficiency SLA training curves (with efficiency panel).
+
+Paper shape: unconstrained maximization of T/E; tested efficiency climbs
+steadily over training and ends well above the untrained policy's.
+"""
+
+from repro.experiments import fig8_energy_efficiency
+
+
+def test_fig8_ee_training(benchmark, once, capsys):
+    result, report = once(
+        benchmark, fig8_energy_efficiency, episodes=60, test_every=10, episode_len=16
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    hist = result.history
+    assert hist.final.energy_efficiency > 1.3 * hist.records[0].energy_efficiency
+    assert hist.final.throughput_gbps > hist.records[0].throughput_gbps

@@ -1,0 +1,55 @@
+"""Figure 9: model comparison (throughput and energy bars).
+
+Paper shape (who wins, by what factor):
+
+* Baseline lowest throughput at the highest energy;
+* Heuristics / EE-Pstate / Q-Learning in the middle (~1.5-2.5x baseline);
+* the three GreenNFV SLAs on top — MaxT ~4.4x baseline throughput at
+  substantially less energy, MinE the lowest energy while >= 3x baseline
+  throughput, EE the best throughput-per-energy.
+"""
+
+from repro.experiments import fig9_comparison
+
+
+def test_fig9_comparison(benchmark, once, capsys):
+    result, report = once(
+        benchmark,
+        fig9_comparison,
+        intervals=40,
+        train_episodes=80,
+        qlearning_episodes=150,
+        seed=11,
+    )
+    with capsys.disabled():
+        print()
+        print(report.render())
+    base = result.baseline
+    heur = result.entry("Heuristics")
+    eep = result.entry("EE-Pstate")
+    ql = result.entry("Q-Learning")
+    maxt = result.entry("GreenNFV(MaxT)")
+    mine = result.entry("GreenNFV(MinE)")
+    ee = result.entry("GreenNFV(EE)")
+
+    # Mid-tier controllers: between baseline and GreenNFV.
+    for entry in (heur, eep, ql):
+        assert entry.throughput_gbps > 1.2 * base.throughput_gbps
+        assert entry.energy_j < base.energy_j
+
+    # GreenNFV(MaxT): the 4.4x headline (we accept 3.5-5.5x).
+    t_ratio, e_ratio = maxt.relative_to(base)
+    assert 3.5 < t_ratio < 5.5
+    assert e_ratio < 0.75  # paper: 33% less energy (ours saves more)
+
+    # GreenNFV(MinE): >= 3x baseline at roughly half the energy.
+    t_ratio, e_ratio = mine.relative_to(base)
+    assert t_ratio > 3.0
+    assert e_ratio < 0.65
+
+    # GreenNFV over the mid-tier: ~2x throughput (MaxT vs best mid-tier).
+    best_mid = max(heur.throughput_gbps, eep.throughput_gbps, ql.throughput_gbps)
+    assert maxt.throughput_gbps > 1.4 * best_mid
+
+    # EE: the best energy efficiency of all entries.
+    assert ee.energy_efficiency == max(e.energy_efficiency for e in result.entries)

@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one of the paper's figures and prints the
+same rows/series the paper reports.  The heavyweight harnesses (RL
+training) run with ``benchmark.pedantic(rounds=1)`` — the quantity being
+benchmarked is the experiment pipeline itself, and its *output tables*
+are the artifact; wall-clock numbers are a by-product.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    """Fixture exposing :func:`run_once`."""
+    return run_once

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Adaptivity under dynamic traffic: GreenNFV vs. a static configuration.
+
+The paper's motivation for learning over heuristics is that "network
+flows can be highly dynamic".  This example trains an Energy-Efficiency
+policy on bursty MMPP traffic, deploys it next to a statically tuned
+configuration, and shows the learned controller retuning its knobs as
+the load swings — saving energy in the troughs without giving up
+throughput at the peaks.
+
+Run:  python examples/adaptive_traffic.py
+"""
+
+import numpy as np
+
+from repro.core.env import NFVEnv
+from repro.core.scheduler import GreenNFVScheduler
+from repro.core.sla import EnergyEfficiencySLA, RewardScales
+from repro.nfv.knobs import KnobSettings
+from repro.traffic.generators import MMPPGenerator
+from repro.utils.tables import render_table
+from repro.utils.units import line_rate_pps
+
+
+def bursty(rng):
+    """A 2-state MMPP flow swinging between 15% and 90% of line rate."""
+    line = line_rate_pps(10.0, 1518)
+    return MMPPGenerator(0.15 * line, 0.9 * line, p_low_to_high=0.15, p_high_to_low=0.15)
+
+
+def run_static(duration_s: int, seed: int) -> tuple[float, float]:
+    """A fixed, peak-provisioned configuration (no adaptation)."""
+    env = NFVEnv(
+        EnergyEfficiencySLA(RewardScales(energy_j=81.5)),
+        generator=bursty(None),
+        episode_len=duration_s,
+        rng=seed,
+    )
+    env.reset(
+        knobs=KnobSettings(
+            cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.9, dma_mb=16, batch_size=192
+        )
+    )
+    action = env.knob_space.to_action(
+        KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.9, dma_mb=16, batch_size=192)
+    )
+    ts, es = [], []
+    for _ in range(duration_s):
+        r = env.step(action)
+        ts.append(r.sample.throughput_gbps)
+        es.append(r.sample.energy_j)
+    return float(np.mean(ts)), float(np.sum(es))
+
+
+def main() -> None:
+    print("Training the Energy-Efficiency policy on bursty MMPP traffic...")
+    sched = GreenNFVScheduler(
+        sla=EnergyEfficiencySLA(RewardScales(energy_j=81.5)),
+        generator_factory=bursty,
+        episode_len=16,
+        seed=5,
+    )
+    sched.train(episodes=70, test_every=35)
+
+    duration = 60
+    timeline = sched.run_online(duration_s=duration)
+    t_adaptive = float(np.mean([s.throughput_gbps for s in timeline]))
+    e_adaptive = float(np.sum([s.energy_j for s in timeline]))
+    t_static, e_static = run_static(duration, seed=99)
+
+    print()
+    print(
+        render_table(
+            ["controller", "mean T (Gbps)", "energy (J)", "T/E (Gbps/kJ)"],
+            [
+                ["GreenNFV (adaptive)", t_adaptive, e_adaptive, t_adaptive / (e_adaptive / 1e3)],
+                ["static peak-provisioned", t_static, e_static, t_static / (e_static / 1e3)],
+            ],
+            title=f"{duration} s of bursty traffic",
+        )
+    )
+
+    print("\nKnob trajectory of the adaptive controller (every 10 s):")
+    rows = []
+    for s in timeline[::10]:
+        rows.append(
+            [
+                f"{s.t_s:.0f}",
+                s.throughput_gbps,
+                s.energy_j,
+                s.knobs.cpu_freq_ghz,
+                s.knobs.cpu_share,
+                s.knobs.batch_size,
+            ]
+        )
+    print(
+        render_table(
+            ["t (s)", "T (Gbps)", "E (J)", "freq (GHz)", "cores/NF", "batch"], rows
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bring your own service chain: config-style deployment + knob study.
+
+Builds a CDN edge chain (firewall -> tunnel gateway -> CDN cache) from
+the NF catalog the way an operator would from a configuration file,
+deploys it on a node through the ONVM-style controller, and sweeps the
+batch-size knob to find this chain's own throughput/energy trade-off —
+the §3 micro-benchmark methodology applied to a custom workload.
+
+Run:  python examples/custom_chain.py
+"""
+
+from repro.nfv.controller import OnvmController
+from repro.nfv.engine import PacketEngine
+from repro.nfv.chain import ServiceChain
+from repro.nfv.knobs import KnobSettings
+from repro.traffic.generators import ConstantRateGenerator
+from repro.traffic.packet import IMIX
+from repro.utils.tables import render_table
+from repro.utils.units import line_rate_pps
+
+
+def main() -> None:
+    # Config-file style: chains by NF name, traffic per chain.
+    config = {
+        "cdn-edge": {
+            "nfs": ["firewall", "tunnel_gw", "cdn_cache"],
+            "knobs": {"cpu_share": 1.2, "llc_fraction": 0.7, "batch_size": 64},
+        }
+    }
+    generators = {
+        "cdn-edge": ConstantRateGenerator(
+            0.6 * line_rate_pps(10.0, IMIX.mean_bytes), IMIX
+        )
+    }
+    ctrl = OnvmController.from_config(config, generators, rng=1)
+
+    print("Deployed chain:")
+    binding = ctrl.bindings["cdn-edge"]
+    for nf in binding.chain:
+        print(f"  {nf.name:10s} state={nf.state_bytes/1e6:5.2f} MB  {nf.description}")
+
+    print("\nRunning 10 control intervals...")
+    for _ in range(10):
+        ctrl.run_interval()
+    obs = ctrl.collect_state()["cdn-edge"]
+    print(
+        f"  T={obs.throughput_gbps:.2f} Gbps, E={obs.energy_j:.1f} J/interval, "
+        f"CPU={obs.cpu_utilization:.0%} of provisioned cores, "
+        f"arrivals={obs.arrival_rate_pps/1e6:.2f} Mpps"
+    )
+
+    # Knob study on this chain: batch-size sweep at fixed everything else.
+    print("\nBatch-size sweep for this chain (IMIX traffic):")
+    engine = PacketEngine()
+    chain = ServiceChain.from_names("cdn-edge", config["cdn-edge"]["nfs"])
+    offered = generators["cdn-edge"].rate_pps
+    rows = []
+    for batch in (8, 16, 32, 64, 128, 192, 256):
+        knobs = KnobSettings(
+            cpu_share=1.2, cpu_freq_ghz=2.1, llc_fraction=0.7, dma_mb=12, batch_size=batch
+        )
+        s = engine.step(chain, knobs, offered, IMIX.mean_bytes, 1.0)
+        rows.append(
+            [batch, s.throughput_gbps, s.energy_j, s.energy_per_mpacket, s.latency_s * 1e3]
+        )
+    print(
+        render_table(
+            ["batch", "T (Gbps)", "E (J/s)", "E (J/MP)", "latency (ms)"], rows
+        )
+    )
+    best = max(rows, key=lambda r: r[1])
+    print(f"\nBest batch for raw throughput on this chain: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""SLA comparison: which contract should a telco offer for this chain?
+
+Trains all three GreenNFV SLA policies on the same 3-NF chain and
+compares them against the untuned Baseline and the rule-based
+controllers — a small-scale rendition of the paper's Fig. 9 that a TSP
+would run when deciding what to promise a customer.
+
+Run:  python examples/sla_comparison.py
+"""
+
+from repro.experiments import fig9_comparison
+
+
+def main() -> None:
+    print("Running the seven-way comparison (this trains four policies)...")
+    result, report = fig9_comparison(
+        intervals=30, train_episodes=60, qlearning_episodes=120, seed=11
+    )
+    print()
+    print(report.render())
+
+    base = result.baseline
+    print("\nHeadline multiples vs. the untuned Baseline:")
+    for entry in result.entries[1:]:
+        t_ratio, e_ratio = entry.relative_to(base)
+        print(
+            f"  {entry.name:16s} {t_ratio:4.1f}x throughput at "
+            f"{1 - e_ratio:4.0%} less energy"
+        )
+    print(
+        "\nPaper reference points: MaxT ~4.4x with ~33% less energy; "
+        "MinE ~3x with ~50-60% less; Heuristics/EE-Pstate/Q-Learning ~2x."
+    )
+
+
+if __name__ == "__main__":
+    main()

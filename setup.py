@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline build environment ships setuptools without ``wheel``; modern
+PEP 660 editable installs need ``bdist_wheel``, so ``pip install -e .``
+falls back to this ``setup.py develop`` path.  All metadata lives in
+pyproject.toml; this file only triggers the legacy code path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""GreenNFV reproduction — energy-efficient NFV resource scheduling with SLAs.
+
+A full-system reproduction of *GreenNFV: Energy-Efficient Network
+Function Virtualization with Service Level Agreement Constraints*
+(Zulkar Nine, Kosar, Bulut, Hwang — SC 2023), built on a simulated NFV
+testbed: an OpenNetVM-style platform, hardware models for DVFS / Intel
+CAT / DDIO / DMA rings / the Fan-et-al. power model, MoonGen-style
+traffic generation, and a from-scratch numpy RL stack (DDPG, prioritized
+replay, Ape-X distributed learning, tabular Q-learning) plus the paper's
+Heuristics and EE-Pstate baselines.
+
+Quickstart::
+
+    from repro import GreenNFVScheduler, MaxThroughputSLA
+
+    sched = GreenNFVScheduler(sla=MaxThroughputSLA(energy_cap_j=45.0), seed=7)
+    history = sched.train(episodes=60)
+    print(history.final.throughput_gbps, history.final.energy_j)
+"""
+
+from repro.core import (
+    EnergyEfficiencySLA,
+    GreenNFVScheduler,
+    MaxThroughputSLA,
+    MinEnergySLA,
+    NFVEnv,
+    RewardScales,
+    sla_from_name,
+)
+from repro.nfv import KnobSettings, ServiceChain, default_chain
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EnergyEfficiencySLA",
+    "GreenNFVScheduler",
+    "MaxThroughputSLA",
+    "MinEnergySLA",
+    "NFVEnv",
+    "RewardScales",
+    "sla_from_name",
+    "KnobSettings",
+    "ServiceChain",
+    "default_chain",
+    "__version__",
+]

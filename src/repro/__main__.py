@@ -1,0 +1,97 @@
+"""Command-line entry point: run any registered experiment.
+
+Usage::
+
+    python -m repro list                      # available experiments
+    python -m repro fig2                      # run one figure's harness
+    python -m repro fig9 --quick              # reduced training budgets
+    python -m repro fig6 --out results.txt    # also write the report
+
+Experiment ids are the paper's figure numbers (fig1..fig4, fig6..fig11)
+plus the ablations (ablation-per, ablation-apex, ablation-knobs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.ablations import (
+    ablation_apex_actors,
+    ablation_discretization,
+    ablation_granularity,
+    ablation_knobs,
+    ablation_per,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+_EXTRA = {
+    "ablation-per": ablation_per,
+    "ablation-apex": ablation_apex_actors,
+    "ablation-knobs": ablation_knobs,
+    "ablation-granularity": ablation_granularity,
+    "ablation-discretization": ablation_discretization,
+}
+
+#: Reduced-budget keyword overrides for --quick runs, per experiment.
+_QUICK: dict[str, dict] = {
+    "fig6": dict(episodes=20, test_every=5),
+    "fig7": dict(episodes=20, test_every=5),
+    "fig8": dict(episodes=20, test_every=5),
+    "fig9": dict(intervals=16, train_episodes=25, qlearning_episodes=40),
+    "fig10": dict(duration_s=40.0, train_episodes=15),
+    "fig11": dict(train_episodes=20, measure_intervals=16),
+    "ablation-per": dict(episodes=20, test_every=10),
+    "ablation-apex": dict(cycles=10, test_every=5),
+    "ablation-knobs": dict(episodes=15, test_every=15),
+    "ablation-granularity": dict(episodes=20, test_every=10),
+    "ablation-discretization": dict(levels=(2, 3), episodes=40, test_every=20),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    all_experiments = {**EXPERIMENTS, **_EXTRA}
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a GreenNFV reproduction experiment and print its report.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'python -m repro list')",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced training budgets"
+    )
+    parser.add_argument(
+        "--out", default=None, help="also write the rendered report to this file"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(all_experiments):
+            print(f"  {name}")
+        return 0
+
+    if args.experiment not in all_experiments:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"options: {', '.join(sorted(all_experiments))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs = _QUICK.get(args.experiment, {}) if args.quick else {}
+    _, report = all_experiments[args.experiment](**kwargs)
+    text = report.render()
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\n(report written to {args.out})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,15 @@
+"""Comparison controllers: Baseline, Heuristics (Alg. 1), EE-Pstate."""
+
+from repro.baselines.base import Controller, ControllerRun, run_controller
+from repro.baselines.ee_pstate import EEPstateController
+from repro.baselines.heuristic import HeuristicController
+from repro.baselines.static import StaticBaseline
+
+__all__ = [
+    "Controller",
+    "ControllerRun",
+    "run_controller",
+    "EEPstateController",
+    "HeuristicController",
+    "StaticBaseline",
+]

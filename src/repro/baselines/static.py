@@ -1,0 +1,37 @@
+"""The untuned Baseline of the paper's comparison.
+
+"The baseline model ... uses a Performance power governor, and all other
+components are set to default values" (§5): maximum frequency, one
+dedicated poll-mode core per NF (100% busy), DPDK's default burst of 32,
+a stock DMA ring, no CAT partitioning, no core parking.  It never reacts
+to telemetry.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Controller
+from repro.nfv.engine import PollingMode, TelemetrySample
+from repro.nfv.knobs import KnobSettings, baseline_settings
+from repro.traffic.analysis import FlowAnalyzer
+
+
+class StaticBaseline(Controller):
+    """Performance governor + defaults; no adaptation whatsoever."""
+
+    polling = PollingMode.POLL
+    cat_enabled = False
+    park_idle_cores = False
+    name = "Baseline"
+
+    def __init__(self, knobs: KnobSettings | None = None):
+        self._knobs = knobs or baseline_settings()
+
+    def initial_knobs(self) -> KnobSettings:
+        """The fixed default configuration."""
+        return self._knobs
+
+    def decide(
+        self, sample: TelemetrySample, analyzer: FlowAnalyzer, knobs: KnobSettings
+    ) -> KnobSettings:
+        """Baseline never changes anything."""
+        return self._knobs

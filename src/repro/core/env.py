@@ -1,0 +1,151 @@
+"""The reinforcement-learning environment wrapping the NFV platform.
+
+One :class:`NFVEnv` instance owns one chain on one node (the per-actor
+environment of the Ape-X architecture).  Each ``step`` is one control
+interval: the agent's normalized action becomes knob settings, the
+platform runs the interval, and the SLA turns the telemetry into a
+reward.  The interface is gym-like (``reset``/``step``) but dependency
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.knobs import KnobSpace
+from repro.core.sla import SLA
+from repro.core.state import StateEncoder
+from repro.nfv.chain import ServiceChain, default_chain
+from repro.nfv.controller import OnvmController
+from repro.nfv.engine import EngineParams, PollingMode, TelemetrySample
+from repro.nfv.knobs import KnobSettings
+from repro.nfv.node import Node
+from repro.traffic.generators import ConstantRateGenerator, TrafficGenerator
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass
+class StepResult:
+    """Outcome of one environment step."""
+
+    observation: np.ndarray
+    reward: float
+    done: bool
+    sample: TelemetrySample
+    knobs: KnobSettings
+    info: dict[str, Any] = field(default_factory=dict)
+
+
+class NFVEnv:
+    """Gym-like environment: actions are knob vectors, rewards come from an SLA."""
+
+    def __init__(
+        self,
+        sla: SLA,
+        *,
+        chain: ServiceChain | None = None,
+        generator: TrafficGenerator | None = None,
+        episode_len: int = 32,
+        interval_s: float = 1.0,
+        knob_space: KnobSpace | None = None,
+        encoder: StateEncoder | None = None,
+        engine_params: EngineParams | None = None,
+        polling: PollingMode = PollingMode.ADAPTIVE,
+        rng: RngLike = None,
+    ):
+        if episode_len < 1:
+            raise ValueError("episode length must be >= 1")
+        self.sla = sla
+        self.chain = chain or default_chain()
+        self.generator = generator or ConstantRateGenerator.line_rate()
+        self.episode_len = episode_len
+        self.interval_s = interval_s
+        self.knob_space = knob_space or KnobSpace()
+        self.encoder = encoder or StateEncoder()
+        self._engine_params = engine_params
+        self._polling = polling
+        self._rng = as_generator(rng)
+        self.controller: OnvmController | None = None
+        self._step_count = 0
+        self._last_sample: TelemetrySample | None = None
+
+    # -- spaces ---------------------------------------------------------------
+
+    @property
+    def state_dim(self) -> int:
+        """Observation dimensionality."""
+        return self.encoder.dim
+
+    @property
+    def action_dim(self) -> int:
+        """Action dimensionality (five knobs)."""
+        return self.knob_space.dim
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def reset(self, *, knobs: KnobSettings | None = None) -> np.ndarray:
+        """Start a fresh episode on a fresh platform; returns the initial obs.
+
+        The platform is rebuilt so cache/ring state never leaks across
+        episodes; the traffic generator continues its own trajectory.
+        """
+        node = Node(
+            params=self._engine_params,
+            polling=self._polling,
+        )
+        self.controller = OnvmController(
+            node, interval_s=self.interval_s, rng=self._rng
+        )
+        self.controller.add_chain(self.chain, self.generator, knobs or KnobSettings())
+        self._step_count = 0
+        # Run one warm-up interval under the initial knobs so the first
+        # observation reflects real telemetry rather than zeros.
+        samples = self.controller.run_interval()
+        self._last_sample = samples[self.chain.name]
+        return self.encoder.encode(self._last_sample)
+
+    def step(self, action: np.ndarray) -> StepResult:
+        """Apply a normalized action for one control interval."""
+        if self.controller is None:
+            raise RuntimeError("call reset() before step()")
+        knobs = self.knob_space.to_settings(action)
+        applied = self.controller.set_knobs(self.chain.name, knobs)
+        samples = self.controller.run_interval()
+        sample = samples[self.chain.name]
+        self._last_sample = sample
+        reward = self.sla.reward(sample)
+        self._step_count += 1
+        done = self._step_count >= self.episode_len
+        return StepResult(
+            observation=self.encoder.encode(sample),
+            reward=reward,
+            done=done,
+            sample=sample,
+            knobs=applied,
+            info={
+                "sla_satisfied": self.sla.satisfied(sample),
+                "step": self._step_count,
+            },
+        )
+
+    def run_policy_episode(
+        self,
+        policy,
+        *,
+        explore: bool = False,
+        knobs0: KnobSettings | None = None,
+    ) -> list[StepResult]:
+        """Roll one full episode under ``policy.act(obs, explore=...)``."""
+        obs = self.reset(knobs=knobs0)
+        out: list[StepResult] = []
+        done = False
+        while not done:
+            action = policy.act(obs, explore=explore)
+            result = self.step(action)
+            out.append(result)
+            obs = result.observation
+            done = result.done
+        return out

@@ -1,0 +1,256 @@
+"""Training and evaluation protocols.
+
+The paper's Figs. 6-8 plot, against training episodes, the periodically
+*tested* throughput / energy / CPU usage / core frequency / LLC / DMA /
+batch-size choices of the policy ("During the training process, we test
+the performance periodically at each 2000th episode").  This module
+implements that protocol:
+
+* :func:`train_ddpg` — single-agent DDPG training with prioritized
+  replay and periodic greedy evaluation, producing a
+  :class:`TrainingHistory` whose records are exactly the figures' panels;
+* :func:`train_apex` — the same protocol with the distributed Ape-X
+  coordinator (multiple actors feeding a central learner);
+* :func:`train_qlearning` — the tabular baseline's loop;
+* :func:`evaluate_policy` — greedy rollouts summarized into mean metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.env import NFVEnv
+from repro.rl.apex import ApexConfig, ApexCoordinator
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.per import PrioritizedReplayBuffer
+from repro.rl.qlearning import QLearningAgent, QLearningConfig
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.utils.rng import RngLike, as_generator, spawn
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """Mean metrics of one periodic greedy test (one x-position in Figs. 6-8)."""
+
+    episode: int
+    reward: float
+    throughput_gbps: float
+    energy_j: float
+    cpu_usage_pct: float  # busy cores x 100, the figures' "CPU usage (%)"
+    cpu_freq_ghz: float
+    llc_fraction_pct: float
+    dma_mb: float
+    batch_size: float
+    energy_efficiency: float
+    sla_satisfied_frac: float
+
+
+@dataclass
+class TrainingHistory:
+    """Sequence of periodic evaluations plus per-episode rewards."""
+
+    records: list[EvalRecord] = field(default_factory=list)
+    episode_rewards: list[float] = field(default_factory=list)
+
+    def series(self, attr: str) -> tuple[np.ndarray, np.ndarray]:
+        """(episodes, values) arrays for one panel of the training figure."""
+        xs = np.asarray([r.episode for r in self.records], dtype=np.float64)
+        ys = np.asarray([getattr(r, attr) for r in self.records], dtype=np.float64)
+        return xs, ys
+
+    @property
+    def final(self) -> EvalRecord:
+        """The last periodic evaluation."""
+        if not self.records:
+            raise ValueError("no evaluations recorded")
+        return self.records[-1]
+
+
+def evaluate_policy(
+    env: NFVEnv, policy, *, episodes: int = 1, episode_tag: int = 0
+) -> EvalRecord:
+    """Greedy rollouts; averages telemetry into one :class:`EvalRecord`."""
+    if episodes < 1:
+        raise ValueError("episodes must be >= 1")
+    rewards, ts, es, usage, freqs, llcs, dmas, batches, effs, sats = (
+        [], [], [], [], [], [], [], [], [], [],
+    )
+    for _ in range(episodes):
+        results = env.run_policy_episode(policy, explore=False)
+        for r in results:
+            rewards.append(r.reward)
+            ts.append(r.sample.throughput_gbps)
+            es.append(r.sample.energy_j)
+            usage.append(r.sample.cpu_cores_busy * 100.0)
+            freqs.append(r.knobs.cpu_freq_ghz)
+            llcs.append(r.knobs.llc_fraction * 100.0)
+            dmas.append(r.knobs.dma_mb)
+            batches.append(float(r.knobs.batch_size))
+            effs.append(r.sample.energy_efficiency)
+            sats.append(1.0 if r.info["sla_satisfied"] else 0.0)
+    return EvalRecord(
+        episode=episode_tag,
+        reward=float(np.mean(rewards)),
+        throughput_gbps=float(np.mean(ts)),
+        energy_j=float(np.sum(es) / episodes),  # per-episode energy
+        cpu_usage_pct=float(np.mean(usage)),
+        cpu_freq_ghz=float(np.mean(freqs)),
+        llc_fraction_pct=float(np.mean(llcs)),
+        dma_mb=float(np.mean(dmas)),
+        batch_size=float(np.mean(batches)),
+        energy_efficiency=float(np.mean(effs)),
+        sla_satisfied_frac=float(np.mean(sats)),
+    )
+
+
+def train_ddpg(
+    train_env: NFVEnv,
+    eval_env: NFVEnv,
+    *,
+    episodes: int = 120,
+    test_every: int = 10,
+    agent: DDPGAgent | None = None,
+    ddpg_config: DDPGConfig | None = None,
+    replay_capacity: int = 50_000,
+    warmup_transitions: int = 256,
+    updates_per_step: int = 2,
+    use_per: bool = True,
+    rng: RngLike = None,
+) -> tuple[DDPGAgent, TrainingHistory]:
+    """Single-agent DDPG training with periodic greedy testing.
+
+    Returns the trained agent and the history whose records reproduce
+    the panels of Figs. 6-8 (throughput, energy, CPU usage, frequency,
+    LLC, DMA, batch vs. training progress).  ``use_per=False`` swaps the
+    prioritized buffer for uniform replay (the PER ablation).
+    """
+    if episodes < 1 or test_every < 1:
+        raise ValueError("episodes and test_every must be >= 1")
+    gen = as_generator(rng)
+    r_agent, r_replay = spawn(gen, 2)
+    agent = agent or DDPGAgent(
+        train_env.state_dim, train_env.action_dim, ddpg_config, rng=r_agent
+    )
+    replay = (
+        PrioritizedReplayBuffer(replay_capacity, rng=r_replay)
+        if use_per
+        else ReplayBuffer(replay_capacity, rng=r_replay)
+    )
+    history = TrainingHistory()
+    # Baseline evaluation before any learning (episode 0 point).
+    history.records.append(evaluate_policy(eval_env, agent, episode_tag=0))
+
+    for ep in range(1, episodes + 1):
+        obs = train_env.reset()
+        agent.reset_noise()
+        ep_reward = 0.0
+        done = False
+        while not done:
+            action = agent.act(obs, explore=True)
+            result = train_env.step(action)
+            replay.add(
+                Transition(
+                    state=obs.copy(),
+                    action=np.asarray(action),
+                    reward=result.reward,
+                    next_state=result.observation.copy(),
+                    done=result.done,
+                )
+            )
+            obs = result.observation
+            ep_reward += result.reward
+            done = result.done
+            if len(replay) >= warmup_transitions:
+                for _ in range(updates_per_step):
+                    batch = replay.sample(agent.config.batch_size)
+                    metrics = agent.update(batch)
+                    if use_per:
+                        replay.update_priorities(batch.indices, metrics.td_errors)
+        history.episode_rewards.append(ep_reward)
+        if ep % test_every == 0 or ep == episodes:
+            history.records.append(evaluate_policy(eval_env, agent, episode_tag=ep))
+    return agent, history
+
+
+def train_apex(
+    env_factory,
+    eval_env: NFVEnv,
+    *,
+    state_dim: int,
+    action_dim: int,
+    cycles: int = 120,
+    test_every: int = 10,
+    apex_config: ApexConfig | None = None,
+    ddpg_config: DDPGConfig | None = None,
+    rng: RngLike = None,
+) -> tuple[ApexCoordinator, TrainingHistory]:
+    """Distributed (Ape-X) training with the same periodic-test protocol.
+
+    ``env_factory(actor_id, rng) -> NFVEnv`` builds one environment per
+    actor; evaluation runs greedily on ``eval_env`` against the central
+    learner's policy.
+    """
+    if cycles < 1 or test_every < 1:
+        raise ValueError("cycles and test_every must be >= 1")
+    coordinator = ApexCoordinator(
+        env_factory,
+        state_dim=state_dim,
+        action_dim=action_dim,
+        config=apex_config,
+        ddpg_config=ddpg_config,
+        rng=rng,
+    )
+    history = TrainingHistory()
+    history.records.append(evaluate_policy(eval_env, coordinator.policy, episode_tag=0))
+    done_cycles = 0
+    while done_cycles < cycles:
+        chunk = min(test_every, cycles - done_cycles)
+        stats = coordinator.run_cycles(chunk)
+        done_cycles += chunk
+        history.records.append(
+            evaluate_policy(eval_env, coordinator.policy, episode_tag=done_cycles)
+        )
+        history.episode_rewards.append(stats.mean_recent_reward)
+    return coordinator, history
+
+
+def train_qlearning(
+    train_env: NFVEnv,
+    eval_env: NFVEnv,
+    *,
+    episodes: int = 200,
+    test_every: int = 20,
+    config: QLearningConfig | None = None,
+    rng: RngLike = None,
+) -> tuple[QLearningAgent, TrainingHistory]:
+    """Tabular Q-learning baseline over the same environment."""
+    if episodes < 1 or test_every < 1:
+        raise ValueError("episodes and test_every must be >= 1")
+    low, high = train_env.encoder.bounds()
+    agent = QLearningAgent(
+        train_env.state_dim,
+        train_env.action_dim,
+        config,
+        state_low=low,
+        state_high=high,
+        rng=rng,
+    )
+    history = TrainingHistory()
+    history.records.append(evaluate_policy(eval_env, agent, episode_tag=0))
+    for ep in range(1, episodes + 1):
+        obs = train_env.reset()
+        ep_reward = 0.0
+        done = False
+        while not done:
+            action = agent.act(obs, explore=True)
+            result = train_env.step(action)
+            agent.update(obs, action, result.reward, result.observation, result.done)
+            obs = result.observation
+            ep_reward += result.reward
+            done = result.done
+        history.episode_rewards.append(ep_reward)
+        if ep % test_every == 0 or ep == episodes:
+            history.records.append(evaluate_policy(eval_env, agent, episode_tag=ep))
+    return agent, history

@@ -1,0 +1,64 @@
+"""Experiment harnesses: one runnable per paper table/figure."""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    ExperimentScale,
+    experiment_chain,
+    experiment_generator,
+    measure_baseline,
+)
+from repro.experiments.comparison import (
+    ComparisonEntry,
+    ComparisonResult,
+    fig9_comparison,
+)
+from repro.experiments.energy_saving import EnergySavingResult, fig11_energy_saving
+from repro.experiments.fixed_sla import FixedSlaSeries, fig10_fixed_sla
+from repro.experiments.microbench import (
+    BatchRow,
+    DmaRow,
+    FreqRow,
+    LlcSplitRow,
+    fig1_llc_split,
+    fig2_freq_sweep,
+    fig3_batch_sweep,
+    fig4_dma_sweep,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.training_curves import (
+    TrainingCurveResult,
+    fig6_max_throughput,
+    fig7_min_energy,
+    fig8_energy_efficiency,
+    training_curve,
+)
+
+__all__ = [
+    "DEFAULT_SCALE",
+    "ExperimentScale",
+    "experiment_chain",
+    "experiment_generator",
+    "measure_baseline",
+    "ComparisonEntry",
+    "ComparisonResult",
+    "fig9_comparison",
+    "EnergySavingResult",
+    "fig11_energy_saving",
+    "FixedSlaSeries",
+    "fig10_fixed_sla",
+    "BatchRow",
+    "DmaRow",
+    "FreqRow",
+    "LlcSplitRow",
+    "fig1_llc_split",
+    "fig2_freq_sweep",
+    "fig3_batch_sweep",
+    "fig4_dma_sweep",
+    "EXPERIMENTS",
+    "run_experiment",
+    "TrainingCurveResult",
+    "fig6_max_throughput",
+    "fig7_min_energy",
+    "fig8_energy_efficiency",
+    "training_curve",
+]

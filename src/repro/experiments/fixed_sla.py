@@ -1,0 +1,129 @@
+"""Figure 10: trained policies deployed under fixed SLA constraints.
+
+"We also tested our SLA-based models with fixed SLA constraints.
+Maximum throughput SLA is fixed with energy constraint 3.3KJ ...
+Minimum Energy SLA is fixed with a throughput constraint of 7.5 Gbps."
+The figure plots throughput and energy over ~120 s of deployment; the
+energy axis is per measurement window (kJ per 20 s window on the
+paper's scale), so the series here reports a 20 s sliding-window energy
+alongside instantaneous throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scheduler import GreenNFVScheduler, OnlineSample
+from repro.core.sla import MaxThroughputSLA, MinEnergySLA
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, experiment_chain
+from repro.utils.tables import ExperimentReport
+
+#: Energy-reporting window (seconds) matching the paper's kJ axis.
+ENERGY_WINDOW_S = 20.0
+
+
+@dataclass
+class FixedSlaSeries:
+    """Time series of one Fig. 10 panel."""
+
+    label: str
+    t_s: np.ndarray
+    throughput_gbps: np.ndarray
+    window_energy_j: np.ndarray
+    constraint_desc: str
+    satisfied_frac: float
+
+
+def _windowed_energy(samples: list[OnlineSample], window_s: float) -> np.ndarray:
+    energies = np.asarray([s.energy_j for s in samples])
+    ts = np.asarray([s.t_s for s in samples])
+    if len(samples) < 2:
+        return energies
+    dt = ts[1] - ts[0]
+    w = max(1, int(round(window_s / dt)))
+    csum = np.cumsum(energies)
+    out = np.empty_like(energies)
+    out[:w] = csum[:w] * (w / np.arange(1, w + 1))  # scale warmup to window
+    out[w:] = csum[w:] - csum[:-w]
+    return out
+
+
+def _run(
+    sched: GreenNFVScheduler,
+    label: str,
+    constraint_desc: str,
+    *,
+    duration_s: float,
+    train_episodes: int,
+) -> FixedSlaSeries:
+    sched.train(episodes=train_episodes, test_every=max(1, train_episodes // 3))
+    samples = sched.run_online(duration_s=duration_s)
+    sat = float(np.mean([1.0 if s.sla_satisfied else 0.0 for s in samples]))
+    return FixedSlaSeries(
+        label=label,
+        t_s=np.asarray([s.t_s for s in samples]),
+        throughput_gbps=np.asarray([s.throughput_gbps for s in samples]),
+        window_energy_j=_windowed_energy(samples, ENERGY_WINDOW_S),
+        constraint_desc=constraint_desc,
+        satisfied_frac=sat,
+    )
+
+
+def fig10_fixed_sla(
+    *,
+    duration_s: float = 120.0,
+    train_episodes: int = 60,
+    seed: int = 13,
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> tuple[list[FixedSlaSeries], ExperimentReport]:
+    """Both Fig. 10 panels: MaxTh under a fixed cap, MinE under a floor."""
+    cap = scale.fig10_cap_j_per_s
+    maxt = _run(
+        GreenNFVScheduler(
+            sla=MaxThroughputSLA(cap, scale.reward_scales),
+            chain=experiment_chain(),
+            episode_len=16,
+            seed=seed,
+        ),
+        "MaxTh",
+        f"energy cap {cap * ENERGY_WINDOW_S:.0f} J per {ENERGY_WINDOW_S:.0f} s window",
+        duration_s=duration_s,
+        train_episodes=train_episodes,
+    )
+    mine = _run(
+        GreenNFVScheduler(
+            sla=MinEnergySLA(scale.fig10_floor_gbps, scale.reward_scales),
+            chain=experiment_chain(),
+            episode_len=16,
+            seed=seed + 1,
+        ),
+        "MinE",
+        f"throughput floor {scale.fig10_floor_gbps:.1f} Gbps",
+        duration_s=duration_s,
+        train_episodes=train_episodes,
+    )
+    report = ExperimentReport(
+        "fig10",
+        "Fixed-SLA deployment over time: throughput and windowed energy "
+        "for the trained MaxTh and MinE policies.",
+    )
+    for series in (maxt, mine):
+        report.add_text(
+            f"{series.label}: {series.constraint_desc}; SLA satisfied "
+            f"{series.satisfied_frac:.0%} of intervals."
+        )
+        report.add_series(
+            f"{series.label} throughput (Gbps)",
+            series.t_s.tolist(),
+            series.throughput_gbps.tolist(),
+            x_label="time (s)",
+        )
+        report.add_series(
+            f"{series.label} window energy (J)",
+            series.t_s.tolist(),
+            series.window_energy_j.tolist(),
+            x_label="time (s)",
+        )
+    return [maxt, mine], report

@@ -1,0 +1,296 @@
+"""§3 resource-impact micro-benchmarks: Figures 1-4.
+
+Each function reproduces one figure's sweep on the simulator and returns
+both the raw rows and a rendered :class:`ExperimentReport` whose tables
+carry the same columns the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nfv.chain import ServiceChain
+from repro.nfv.engine import PacketEngine, TelemetrySample
+from repro.nfv.knobs import KnobSettings
+from repro.nfv.nf import MONITOR, NAT, NFSpec, ROUTER
+from repro.utils.tables import ExperimentReport
+from repro.utils.units import line_rate_pps, mb_to_bytes
+
+#: Measurement window used across the micro-benchmarks (seconds).  The
+#: paper's energy axes correspond to windows of this order (episode
+#: energies of 1-4 kJ at 50-150 W imply ~20 s).
+WINDOW_S = 20.0
+
+
+# ---------------------------------------------------------------------------
+# Figure 1 — LLC partitioning between two chains
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LlcSplitRow:
+    """One allocation point of Fig. 1 (x = C1/C2 split)."""
+
+    c1_share: float
+    c2_share: float
+    c1_miss_rate: float
+    c2_miss_rate: float
+    c1_throughput_gbps: float
+    c2_throughput_gbps: float
+    c1_energy_per_mp: float
+    c2_energy_per_mp: float
+
+
+def fig1_chains() -> tuple[ServiceChain, ServiceChain]:
+    """The two chains of the Fig. 1 micro-benchmark.
+
+    C1 carries the 13 Mpps flow; its monitor keeps a large per-flow table
+    (flow state scales with the packet rate), so C1's working set is what
+    the LLC split starves.  C2 carries 1 Mpps with a small footprint.
+    """
+    big_monitor = NFSpec(
+        "monitor13m",
+        base_cycles=140.0,
+        per_byte_cycles=0.05,
+        state_bytes=mb_to_bytes(12.0),
+        state_lines_touched=12.0,
+        payload_touch_fraction=0.10,
+        description="Flow monitor sized for a 13 Mpps aggregate.",
+    )
+    c1 = ServiceChain("C1", (NAT, big_monitor, ROUTER))
+    c2 = ServiceChain("C2", (NAT, MONITOR))
+    return c1, c2
+
+
+def fig1_llc_split(
+    splits: list[tuple[float, float]] | None = None,
+    *,
+    c1_rate_pps: float = 13e6,
+    c2_rate_pps: float = 1e6,
+    packet_bytes: float = 64.0,
+) -> tuple[list[LlcSplitRow], ExperimentReport]:
+    """Sweep the LLC split between C1 and C2 (Fig. 1 a-c)."""
+    splits = splits or [(0.9, 0.1), (0.7, 0.3), (0.4, 0.6), (0.2, 0.8)]
+    engine = PacketEngine()
+    c1, c2 = fig1_chains()
+    allocatable = engine.server.llc.way_bytes * engine.server.llc.allocatable_ways
+    rows: list[LlcSplitRow] = []
+    for x, y in splits:
+        if not 0 < x < 1 or not 0 < y < 1:
+            raise ValueError("splits must be fractions in (0, 1)")
+        k1 = KnobSettings(
+            cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=x, dma_mb=24, batch_size=64
+        )
+        k2 = KnobSettings(
+            cpu_share=1.0, cpu_freq_ghz=2.1, llc_fraction=y, dma_mb=8, batch_size=64
+        )
+        s1 = engine.step(
+            c1, k1, c1_rate_pps, packet_bytes, WINDOW_S, llc_bytes=allocatable * x
+        )
+        s2 = engine.step(
+            c2, k2, c2_rate_pps, packet_bytes, WINDOW_S, llc_bytes=allocatable * y
+        )
+        rows.append(
+            LlcSplitRow(
+                c1_share=x,
+                c2_share=y,
+                c1_miss_rate=s1.llc_miss_rate_per_s,
+                c2_miss_rate=s2.llc_miss_rate_per_s,
+                c1_throughput_gbps=s1.throughput_gbps,
+                c2_throughput_gbps=s2.throughput_gbps,
+                c1_energy_per_mp=s1.energy_per_mpacket,
+                c2_energy_per_mp=s2.energy_per_mpacket,
+            )
+        )
+    report = ExperimentReport(
+        "fig1",
+        "LLC-split micro-benchmark: miss rate / throughput / Energy-MP for "
+        "chains C1 (13 Mpps) and C2 (1 Mpps) under CAT splits.",
+    )
+    report.add_table(
+        ["split (C1+C2)", "C1 miss/s", "C2 miss/s", "C1 Gbps", "C2 Gbps", "C1 J/MP", "C2 J/MP"],
+        [
+            [
+                f"{int(r.c1_share * 100)}%+{int(r.c2_share * 100)}%",
+                r.c1_miss_rate,
+                r.c2_miss_rate,
+                r.c1_throughput_gbps,
+                r.c2_throughput_gbps,
+                r.c1_energy_per_mp,
+                r.c2_energy_per_mp,
+            ]
+            for r in rows
+        ],
+        title="Fig. 1 — effect of LLC allocation",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — DVFS
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FreqRow:
+    """One frequency point of Fig. 2."""
+
+    freq_ghz: float
+    throughput_gbps: float
+    energy_j: float
+
+
+def fig2_freq_sweep(
+    freqs: list[float] | None = None,
+    *,
+    chain: ServiceChain | None = None,
+    packet_bytes: float = 1518.0,
+) -> tuple[list[FreqRow], ExperimentReport]:
+    """Throughput + energy vs. core frequency at line rate (Fig. 2).
+
+    Line-rate 1518 B traffic into a 3-NF chain; energy is over the fixed
+    measurement window, so it tracks power — rising with frequency as the
+    paper shows.
+    """
+    from repro.nfv.chain import default_chain
+
+    freqs = freqs or [1.2, 1.3, 1.4, 1.5, 1.6, 1.7, 1.8, 1.9, 2.0, 2.1]
+    chain = chain or default_chain()
+    engine = PacketEngine()
+    offered = line_rate_pps(10.0, packet_bytes)
+    rows: list[FreqRow] = []
+    for f in freqs:
+        knobs = KnobSettings(
+            cpu_share=1.5, cpu_freq_ghz=f, llc_fraction=0.8, dma_mb=12, batch_size=64
+        )
+        s = engine.step(chain, knobs, offered, packet_bytes, WINDOW_S)
+        rows.append(FreqRow(f, s.throughput_gbps, s.energy_j))
+    report = ExperimentReport(
+        "fig2", "DVFS micro-benchmark: throughput and energy vs. core frequency."
+    )
+    report.add_table(
+        ["freq (GHz)", "throughput (Gbps)", "energy (J)"],
+        [[r.freq_ghz, r.throughput_gbps, r.energy_j] for r in rows],
+        title="Fig. 2 — effect of CPU frequency scaling",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — batch size
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchRow:
+    """One batch-size point of Fig. 3."""
+
+    batch_size: int
+    throughput_gbps: float
+    energy_j: float  # fixed-volume transfer energy
+    misses_per_packet: float
+
+
+def fig3_batch_sweep(
+    batches: list[int] | None = None,
+    *,
+    chain: ServiceChain | None = None,
+    packet_bytes: float = 1518.0,
+    volume_packets: float = 20e6,
+) -> tuple[list[BatchRow], ExperimentReport]:
+    """Throughput / energy / misses vs. batch size (Fig. 3 a-b).
+
+    The configuration keeps the chain CPU-bound with a modest LLC share
+    so both batching effects show: amortization on the left, allocation
+    overflow on the right.  Energy is for a fixed transfer volume.
+    """
+    from repro.nfv.chain import default_chain
+
+    batches = batches or [8, 16, 32, 50, 100, 150, 200, 250, 300]
+    chain = chain or default_chain()
+    engine = PacketEngine()
+    offered = line_rate_pps(10.0, packet_bytes)
+    rows: list[BatchRow] = []
+    for b in batches:
+        if b < 1:
+            raise ValueError("batch sizes must be >= 1")
+        knobs = KnobSettings(
+            cpu_share=1.2, cpu_freq_ghz=2.1, llc_fraction=0.27, dma_mb=8, batch_size=b
+        )
+        energy, s = engine.fixed_volume_energy(
+            chain, knobs, offered, packet_bytes, volume_packets
+        )
+        rows.append(
+            BatchRow(
+                batch_size=b,
+                throughput_gbps=s.throughput_gbps,
+                energy_j=energy,
+                misses_per_packet=float(
+                    sum(t.misses_per_packet for t in s.per_nf)
+                ),
+            )
+        )
+    report = ExperimentReport(
+        "fig3",
+        "Batch-size micro-benchmark: throughput, fixed-volume energy and "
+        "LLC misses vs. packet batch size.",
+    )
+    report.add_table(
+        ["batch", "throughput (Gbps)", "energy (J)", "misses/packet"],
+        [[r.batch_size, r.throughput_gbps, r.energy_j, r.misses_per_packet] for r in rows],
+        title="Fig. 3 — effect of batching",
+    )
+    return rows, report
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — DMA buffer size
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DmaRow:
+    """One DMA-size point of Fig. 4, for one packet size."""
+
+    packet_bytes: float
+    dma_mb: float
+    throughput_gbps: float
+    energy_per_mp: float
+
+
+def fig4_dma_sweep(
+    dma_sizes_mb: list[float] | None = None,
+    *,
+    chain: ServiceChain | None = None,
+    packet_sizes: tuple[float, float] = (64.0, 1518.0),
+) -> tuple[list[DmaRow], ExperimentReport]:
+    """Throughput and Energy/MP vs. DMA buffer size, two frame sizes (Fig. 4)."""
+    from repro.nfv.chain import default_chain
+
+    dma_sizes_mb = dma_sizes_mb or [0.5, 1, 2, 5, 10, 15, 20, 25, 30, 35, 40]
+    chain = chain or default_chain()
+    engine = PacketEngine()
+    rows: list[DmaRow] = []
+    for pkt in packet_sizes:
+        offered = line_rate_pps(10.0, pkt)
+        for d in dma_sizes_mb:
+            if d <= 0:
+                raise ValueError("DMA sizes must be positive")
+            knobs = KnobSettings(
+                cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.5, dma_mb=d, batch_size=64
+            )
+            s = engine.step(chain, knobs, offered, pkt, WINDOW_S)
+            rows.append(DmaRow(pkt, d, s.throughput_gbps, s.energy_per_mpacket))
+    report = ExperimentReport(
+        "fig4",
+        "DMA-buffer micro-benchmark: throughput and Energy/MP vs. buffer "
+        "size for 64 B and 1518 B frames.",
+    )
+    report.add_table(
+        ["packet (B)", "DMA (MB)", "throughput (Gbps)", "Energy (J/MP)"],
+        [[int(r.packet_bytes), r.dma_mb, r.throughput_gbps, r.energy_per_mp] for r in rows],
+        title="Fig. 4 — effect of DMA buffer size",
+    )
+    return rows, report

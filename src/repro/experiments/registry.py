@@ -1,0 +1,47 @@
+"""Experiment registry: figure id -> runnable harness.
+
+Each entry returns ``(result, ExperimentReport)``.  The benchmarks call
+through this registry so EXPERIMENTS.md, the benches and the examples
+all agree on what each figure id means.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.comparison import fig9_comparison
+from repro.experiments.energy_saving import fig11_energy_saving
+from repro.experiments.fixed_sla import fig10_fixed_sla
+from repro.experiments.microbench import (
+    fig1_llc_split,
+    fig2_freq_sweep,
+    fig3_batch_sweep,
+    fig4_dma_sweep,
+)
+from repro.experiments.training_curves import (
+    fig6_max_throughput,
+    fig7_min_energy,
+    fig8_energy_efficiency,
+)
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": fig1_llc_split,
+    "fig2": fig2_freq_sweep,
+    "fig3": fig3_batch_sweep,
+    "fig4": fig4_dma_sweep,
+    "fig6": fig6_max_throughput,
+    "fig7": fig7_min_energy,
+    "fig8": fig8_energy_efficiency,
+    "fig9": fig9_comparison,
+    "fig10": fig10_fixed_sla,
+    "fig11": fig11_energy_saving,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs):
+    """Run a registered experiment by figure id."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[experiment_id](**kwargs)

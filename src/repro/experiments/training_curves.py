@@ -1,0 +1,140 @@
+"""Figures 6-8: DDPG training progress under each SLA.
+
+Each figure plots, against training episodes, the periodically-tested
+achieved throughput, energy, CPU usage, core frequency, LLC allocation,
+DMA buffer size and packet batch size (Fig. 8 additionally plots energy
+efficiency).  :func:`training_curve` runs the §4.3 training protocol for
+one SLA and renders every panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.scheduler import GreenNFVScheduler
+from repro.core.training import TrainingHistory
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale, experiment_chain
+from repro.traffic.generators import paper_flows
+from repro.traffic.generators import CompositeGenerator
+from repro.utils.tables import ExperimentReport
+
+#: Panels common to Figs. 6-8: (history attribute, display label).
+PANELS: tuple[tuple[str, str], ...] = (
+    ("throughput_gbps", "Achieved throughput (Gbps)"),
+    ("energy_j", "Energy per episode (J)"),
+    ("cpu_usage_pct", "CPU usage (%)"),
+    ("cpu_freq_ghz", "Core frequency (GHz)"),
+    ("llc_fraction_pct", "LLC allocation (%)"),
+    ("dma_mb", "DMA buffer size (MB)"),
+    ("batch_size", "Packet batch size"),
+)
+
+
+@dataclass
+class TrainingCurveResult:
+    """History + scheduler of one Figs. 6-8 run."""
+
+    sla_name: str
+    history: TrainingHistory
+    scheduler: GreenNFVScheduler
+
+
+def five_flow_generator(rng):
+    """The §5.1 workload: five flows aggregated onto the chain's ingress."""
+    return CompositeGenerator(paper_flows(5))
+
+
+def training_curve(
+    sla_name: str,
+    *,
+    episodes: int = 60,
+    test_every: int = 6,
+    episode_len: int = 16,
+    seed: int = 7,
+    distributed: bool = False,
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> TrainingCurveResult:
+    """Train one SLA policy and record the periodic-test series.
+
+    ``sla_name`` is one of ``max_throughput`` (Fig. 6), ``min_energy``
+    (Fig. 7), ``energy_efficiency`` (Fig. 8).
+    """
+    sched = GreenNFVScheduler(
+        sla=scale.sla(sla_name),
+        chain=experiment_chain(),
+        generator_factory=five_flow_generator,
+        episode_len=episode_len,
+        seed=seed,
+    )
+    history = sched.train(
+        episodes=episodes, test_every=test_every, distributed=distributed
+    )
+    return TrainingCurveResult(sla_name=sla_name, history=history, scheduler=sched)
+
+
+def render_training_report(
+    result: TrainingCurveResult, figure_id: str, extra_panels: tuple[tuple[str, str], ...] = ()
+) -> ExperimentReport:
+    """Render the per-panel series of one training figure."""
+    report = ExperimentReport(
+        figure_id,
+        f"DDPG training progress under the {result.sla_name} SLA "
+        "(periodic greedy tests).",
+    )
+    rows = []
+    for rec in result.history.records:
+        rows.append(
+            [
+                rec.episode,
+                rec.throughput_gbps,
+                rec.energy_j,
+                rec.cpu_usage_pct,
+                rec.cpu_freq_ghz,
+                rec.llc_fraction_pct,
+                rec.dma_mb,
+                rec.batch_size,
+                rec.energy_efficiency,
+                rec.sla_satisfied_frac,
+            ]
+        )
+    report.add_table(
+        [
+            "episode",
+            "T (Gbps)",
+            "E (J)",
+            "CPU (%)",
+            "freq (GHz)",
+            "LLC (%)",
+            "DMA (MB)",
+            "batch",
+            "T/E",
+            "SLA ok",
+        ],
+        rows,
+        title=f"{figure_id} — periodic test points",
+    )
+    for attr, label in PANELS + tuple(extra_panels):
+        xs, ys = result.history.series(attr)
+        report.add_series(label, xs.tolist(), ys.tolist(), x_label="episode")
+    return report
+
+
+def fig6_max_throughput(**kwargs) -> tuple[TrainingCurveResult, ExperimentReport]:
+    """Fig. 6: Maximum-Throughput SLA training (energy cap, five flows)."""
+    result = training_curve("max_throughput", **kwargs)
+    return result, render_training_report(result, "fig6")
+
+
+def fig7_min_energy(**kwargs) -> tuple[TrainingCurveResult, ExperimentReport]:
+    """Fig. 7: Minimum-Energy SLA training (7.5 Gbps floor)."""
+    result = training_curve("min_energy", **kwargs)
+    return result, render_training_report(result, "fig7")
+
+
+def fig8_energy_efficiency(**kwargs) -> tuple[TrainingCurveResult, ExperimentReport]:
+    """Fig. 8: Energy-Efficiency SLA training (includes the efficiency panel)."""
+    result = training_curve("energy_efficiency", **kwargs)
+    report = render_training_report(
+        result, "fig8", extra_panels=(("energy_efficiency", "Energy efficiency (T/E)"),)
+    )
+    return result, report

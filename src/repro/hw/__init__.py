@@ -1,0 +1,58 @@
+"""Hardware models: CPU/DVFS, LLC with CAT+DDIO, DMA rings, NIC, power."""
+
+from repro.hw.cache import (
+    CacheAllocator,
+    ClassOfService,
+    LlcSpec,
+    batch_misses_per_packet,
+    capacity_miss_ratio,
+    contention_factor,
+    contiguous_mask,
+    ddio_hit_ratio,
+    is_contiguous,
+    mask_ways,
+)
+from repro.hw.cpu import (
+    DEFAULT_C_STATES,
+    XEON_E5_2620V4_FREQS_GHZ,
+    CoreState,
+    CpuFreqController,
+    CpuSpec,
+    CStateSpec,
+    Governor,
+)
+from repro.hw.dma import DmaBufferModel, DmaSpec
+from repro.hw.nic import Nic, NicSpec, PortCounters
+from repro.hw.power import EnergyMeter, PowerModelParams, ServerPowerModel
+from repro.hw.server import ServerSpec, testbed_cluster, testbed_node
+
+__all__ = [
+    "CacheAllocator",
+    "ClassOfService",
+    "LlcSpec",
+    "batch_misses_per_packet",
+    "capacity_miss_ratio",
+    "contention_factor",
+    "contiguous_mask",
+    "ddio_hit_ratio",
+    "is_contiguous",
+    "mask_ways",
+    "DEFAULT_C_STATES",
+    "XEON_E5_2620V4_FREQS_GHZ",
+    "CoreState",
+    "CpuFreqController",
+    "CpuSpec",
+    "CStateSpec",
+    "Governor",
+    "DmaBufferModel",
+    "DmaSpec",
+    "Nic",
+    "NicSpec",
+    "PortCounters",
+    "EnergyMeter",
+    "PowerModelParams",
+    "ServerPowerModel",
+    "ServerSpec",
+    "testbed_cluster",
+    "testbed_node",
+]

@@ -1,0 +1,477 @@
+"""The platform physics: knobs + offered load -> throughput, misses, power.
+
+This module is the simulator's substitute for the paper's physical
+testbed.  Given a service chain, its knob settings, and the offered
+traffic for one control interval, :class:`PacketEngine` computes
+
+* the chain's achievable packet rate (pipeline bottleneck analysis over
+  the NFs, Rx-ring delivery, receive livelock under overload, NIC line
+  rate),
+* the LLC miss rate,
+* per-NF and aggregate CPU utilization,
+* node power (Fan et al. model) and interval energy.
+
+Per-packet cost of NF *i* (cycles)::
+
+    cpp_i = compute(nf, pkt)                        # base + per_byte * pkt
+          + ring_call_cycles / batch                # batching amortization
+          + mbuf_cycles / sqrt(batch)               # bulk mbuf alloc/free
+          + state_lines * p_miss * pen_eff          # table walks
+          + touched_lines * mem_factor *
+              (p_hit * hit_eff + p_miss' * pen_eff) # payload access
+          + inter_nf_handoff  (i > 0)
+
+where ``pen_eff = miss_penalty * (1 - prefetch_efficiency(batch))`` —
+batching lets the prefetchers hide DRAM latency — and the payload
+hit probability comes from DDIO for the first NF (DMA ring vs. DDIO
+capacity) and from LLC residency of the in-flight batch for later NFs.
+State-walk and residency miss probabilities derive from the chain's
+working set vs. its CAT allocation (``capacity_miss_ratio``).
+
+Service rate of NF *i* = ``cpu_share * f / cpp_i``; the chain rate is the
+pipeline minimum; achieved rate additionally respects the Rx-ring
+delivery ratio (DMA too small => ring overflow drops), receive livelock
+(dropping packets still costs rx cycles), and NIC line rate.  These are
+the mechanisms §3 measures in isolation, so the micro-benchmark figures
+(Figs. 1-4) fall out of the same code path the RL environment uses.
+
+CPU utilization depends on the polling mode: the Baseline's DPDK
+poll-mode driver "uses complete cycles of dedicated cores" (util = 100%
+on allocated cores); GreenNFV's "mix of callback and polling" lets
+utilization track actual work with a small polling overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.cache import (
+    capacity_miss_ratio,
+    ddio_hit_ratio,
+    prefetch_efficiency,
+)
+from repro.hw.dma import DmaBufferModel
+from repro.hw.power import ServerPowerModel
+from repro.hw.server import ServerSpec
+from repro.nfv.chain import ServiceChain
+from repro.nfv.knobs import KnobSettings
+from repro.utils.units import pps_to_gbps
+
+
+class PollingMode(enum.Enum):
+    """How NF cores wait for packets."""
+
+    #: DPDK poll-mode driver: allocated cores busy-spin at 100%.
+    POLL = "poll"
+    #: GreenNFV's mix of callback and polling: cores sleep when idle,
+    #: utilization tracks work plus a small polling overhead.
+    ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Calibration constants of the physics model.
+
+    These place the simulator's response surface in the same regime as
+    the paper's testbed measurements.  They are pinned by
+    ``tests/test_calibration.py``, which asserts the §3 micro-benchmark
+    shapes and the §5 ordering (who wins, by roughly what factor); none
+    of the orderings depend on their exact values.
+    """
+
+    #: Cycles per ring dequeue/enqueue call, amortized over a batch.
+    ring_call_cycles: float = 420.0
+    #: mbuf alloc/free cost; bulk operations amortize as 1/sqrt(batch).
+    mbuf_cycles: float = 80.0
+    #: Cycles to hand a packet between NFs through a shared ring.
+    inter_nf_handoff_cycles: float = 60.0
+    #: Cycles the first NF spends on a packet that is received and then
+    #: dropped under overload (receive livelock).
+    rx_drop_cycles: float = 120.0
+    #: Latency-bound fraction of payload line accesses (the rest pipeline
+    #: behind them).
+    mem_factor: float = 0.55
+    #: Cold misses per batch (descriptor ring, NF code/stack warmup).
+    cold_lines_per_batch: float = 48.0
+    #: Fraction of polling-loop overhead under ADAPTIVE mode.
+    adaptive_poll_overhead: float = 0.04
+    #: Infrastructure cores (ONVM Rx/Tx threads) always running.
+    infra_cores: float = 2.0
+    #: Utilization of the infra cores under POLL / ADAPTIVE modes.
+    infra_util_poll: float = 1.0
+    infra_util_adaptive: float = 0.35
+    #: Locality exponent of the capacity miss model.
+    cache_locality: float = 2.0
+    #: Extra LLC demand (bytes) from co-tenants when CAT is disabled,
+    #: in units of the allocatable region (the Baseline shares the cache
+    #: with everything else on the socket).
+    no_cat_background_share: float = 3.0
+    #: Miss-ratio multiplier from uncontrolled sharing when CAT is off.
+    no_cat_contention: float = 1.35
+
+
+@dataclass
+class NFTelemetry:
+    """Per-NF interval measurements."""
+
+    name: str
+    cycles_per_packet: float
+    service_rate_pps: float
+    utilization: float
+    misses_per_packet: float
+
+
+@dataclass
+class TelemetrySample:
+    """Everything the controller reads back after one interval.
+
+    This is the simulator's equivalent of the state-collection step in
+    Algorithm 3: throughput ``T``, energy ``E``, CPU utilization ``xi``
+    and packet arrival rate ``Omega``, plus diagnostics.
+    """
+
+    dt_s: float
+    offered_pps: float
+    achieved_pps: float
+    packet_bytes: float
+    throughput_gbps: float
+    llc_miss_rate_per_s: float
+    cpu_utilization: float  # fraction of provisioned cores busy, 0..1
+    cpu_cores_busy: float  # absolute busy-core count ("CPU usage %" / 100)
+    power_w: float
+    energy_j: float
+    dropped_pps: float
+    latency_s: float
+    arrival_rate_pps: float
+    per_nf: list[NFTelemetry] = field(default_factory=list)
+
+    @property
+    def energy_per_mpacket(self) -> float:
+        """Energy per million processed packets (Fig. 1(c)/4(b) metric)."""
+        packets = self.achieved_pps * self.dt_s
+        if packets <= 0:
+            return float("inf")
+        return self.energy_j / (packets / 1e6)
+
+    @property
+    def energy_efficiency(self) -> float:
+        """Throughput per unit energy, lambda = T / E (Eq. 3), Gbps/kJ."""
+        if self.energy_j <= 0:
+            return 0.0
+        return self.throughput_gbps / (self.energy_j / 1e3)
+
+
+class PacketEngine:
+    """Computes one chain's interval telemetry on one node's hardware."""
+
+    def __init__(
+        self,
+        server: ServerSpec | None = None,
+        params: EngineParams | None = None,
+        polling: PollingMode = PollingMode.ADAPTIVE,
+        *,
+        cat_enabled: bool = True,
+        park_idle_cores: bool = True,
+    ):
+        self.server = server or ServerSpec()
+        self.params = params or EngineParams()
+        self.polling = polling
+        self.cat_enabled = cat_enabled
+        self.park_idle_cores = park_idle_cores
+        self.power_model = ServerPowerModel(self.server.power)
+        self.dma_model = DmaBufferModel(self.server.dma, self.server.llc)
+
+    # -- cache environment ---------------------------------------------------
+
+    def effective_llc_bytes(self, requested_bytes: float) -> tuple[float, float]:
+        """(effective allocation, contention multiplier) for a chain.
+
+        With CAT the chain keeps its CLOS grant exclusively.  Without CAT
+        ("all other components set to default values" — the Baseline and
+        EE-Pstate do not manage the cache) the chain competes with
+        background tenants for the whole allocatable region, shrinking its
+        effective share and adding conflict misses.
+        """
+        if self.cat_enabled:
+            return requested_bytes, 1.0
+        llc = self.server.llc
+        allocatable = llc.way_bytes * llc.allocatable_ways
+        bg = self.params.no_cat_background_share * allocatable
+        share = allocatable * requested_bytes / (requested_bytes + bg)
+        return share, self.params.no_cat_contention
+
+    # -- per-NF cost -------------------------------------------------------
+
+    def nf_cycles_per_packet(
+        self,
+        chain: ServiceChain,
+        nf_index: int,
+        knobs: KnobSettings,
+        packet_bytes: float,
+        *,
+        llc_bytes: float,
+        contention: float = 1.0,
+    ) -> tuple[float, float]:
+        """(cycles/packet, misses/packet) for one NF under the knobs.
+
+        ``llc_bytes`` is the chain's granted LLC capacity (NFs of a chain
+        share one CLOS); ``contention`` multiplies miss probabilities for
+        cross-chain interference.
+        """
+        nf = chain.nfs[nf_index]
+        llc = self.server.llc
+        p = self.params
+
+        pf = prefetch_efficiency(knobs.batch_size)
+        pen_eff = llc.miss_penalty_cycles * (1.0 - pf)
+        hit_eff = llc.hit_cycles * (1.0 - pf)
+
+        # Working set the chain keeps live in its allocation.
+        ws = chain.total_state_bytes + knobs.batch_size * packet_bytes
+        base_miss = capacity_miss_ratio(ws, llc_bytes, locality=p.cache_locality)
+        p_miss = float(min(1.0, base_miss * contention))
+
+        # State-table walks.
+        state_cycles = nf.state_lines_touched * p_miss * pen_eff
+        misses = nf.state_lines_touched * p_miss
+
+        # Payload access: DDIO landing for the first NF, LLC residency of
+        # the in-flight batch for the rest.
+        touched = nf.touched_lines(packet_bytes, llc.line_bytes)
+        if nf_index == 0:
+            p_hit = self.dma_model.llc_spill_hit_ratio(knobs.dma_bytes, llc_bytes)
+            p_hit = float(max(0.0, p_hit * (1.0 - p_miss * 0.5)))
+        else:
+            p_hit = 1.0 - p_miss
+        payload_cycles = touched * p.mem_factor * (
+            p_hit * hit_eff + (1.0 - p_hit) * pen_eff
+        )
+        misses += touched * (1.0 - p_hit)
+
+        # Cold misses + per-call overheads amortized over the batch.
+        cold_cycles = p.cold_lines_per_batch * pen_eff / knobs.batch_size
+        misses += p.cold_lines_per_batch / knobs.batch_size
+        overhead = (
+            p.ring_call_cycles / knobs.batch_size
+            + p.mbuf_cycles / math.sqrt(knobs.batch_size)
+        )
+
+        cycles = nf.cycles_for_packet(packet_bytes) + overhead + state_cycles
+        cycles += payload_cycles + cold_cycles
+        if nf_index > 0:
+            cycles += p.inter_nf_handoff_cycles
+        return float(cycles), float(misses)
+
+    # -- power ---------------------------------------------------------------
+
+    def node_power(
+        self, busy_cores: float, allocated_cores: float, freq_ghz: float
+    ) -> float:
+        """Node power for a given busy/allocated core split.
+
+        Utilization for the Fan model is the busy fraction of the whole
+        socket.  Unallocated cores are parked in C6 (8% residual idle
+        power) when ``park_idle_cores`` is set; otherwise they idle at
+        full C0/C1 power, as on the untuned Baseline.
+        """
+        total = float(self.server.cpu.total_cores)
+        allocated = float(min(total, max(allocated_cores, 0.0)))
+        busy = float(np.clip(busy_cores, 0.0, total))
+        u = busy / total
+        parked = total - allocated
+        if self.park_idle_cores:
+            idle_fraction = (allocated + 0.08 * parked) / total
+        else:
+            idle_fraction = 1.0
+        return float(self.power_model.power(u, freq_ghz, idle_fraction=idle_fraction))
+
+    # -- chain-level -------------------------------------------------------
+
+    def chain_service_rate(
+        self,
+        chain: ServiceChain,
+        knobs: KnobSettings,
+        packet_bytes: float,
+        *,
+        llc_bytes: float,
+        contention: float = 1.0,
+    ) -> tuple[float, list[float], list[float]]:
+        """Pipeline service rate and per-NF (cpp, misses) lists.
+
+        Each NF gets ``cpu_share`` cores at ``cpu_freq_ghz``; the chain
+        rate is the slowest stage.
+        """
+        freq_hz = knobs.cpu_freq_ghz * 1e9
+        cpps: list[float] = []
+        misses: list[float] = []
+        for i in range(len(chain)):
+            cpp, m = self.nf_cycles_per_packet(
+                chain, i, knobs, packet_bytes, llc_bytes=llc_bytes, contention=contention
+            )
+            cpps.append(cpp)
+            misses.append(m)
+        rates = [knobs.cpu_share * freq_hz / cpp for cpp in cpps]
+        return min(rates), cpps, misses
+
+    def step(
+        self,
+        chain: ServiceChain,
+        knobs: KnobSettings,
+        offered_pps: float,
+        packet_bytes: float,
+        dt_s: float = 1.0,
+        *,
+        llc_bytes: float | None = None,
+        contention: float | None = None,
+        include_power: bool = True,
+    ) -> TelemetrySample:
+        """Simulate one control interval for a single chain.
+
+        Parameters
+        ----------
+        llc_bytes:
+            Chain's requested LLC capacity; default derives it from the
+            ``llc_fraction`` knob against the allocatable region.  The
+            effective capacity additionally reflects CAT being disabled.
+        contention:
+            Cross-chain miss-ratio multiplier (>= 1) computed by the node
+            when several chains share the socket; default 1 (or the
+            no-CAT contention when CAT is disabled).
+        """
+        if offered_pps < 0 or packet_bytes <= 0 or dt_s <= 0:
+            raise ValueError("offered rate/packet size/dt must be valid")
+        llc = self.server.llc
+        if llc_bytes is None:
+            llc_bytes = knobs.llc_fraction * llc.way_bytes * llc.allocatable_ways
+        eff_llc, cat_contention = self.effective_llc_bytes(llc_bytes)
+        eff_contention = cat_contention if contention is None else max(contention, cat_contention)
+
+        # 1. NIC admission (line rate).
+        nic_cap = self.server.nic.max_pps(packet_bytes)
+        admitted = min(offered_pps, nic_cap)
+
+        # 2. Rx-ring delivery (DMA buffer absorption).
+        delivery = self.dma_model.delivery_ratio(knobs.dma_bytes, packet_bytes, admitted)
+        delivered = admitted * delivery
+
+        # 3. Pipeline bottleneck.
+        chain_rate, cpps, misses_pp = self.chain_service_rate(
+            chain, knobs, packet_bytes, llc_bytes=eff_llc, contention=eff_contention
+        )
+        achieved = min(delivered, chain_rate)
+
+        # 4. Receive livelock: when the first NF cannot keep up, the
+        #    packets it receives and drops still cost rx cycles, eating
+        #    into its packet-processing budget.
+        freq_hz = knobs.cpu_freq_ghz * 1e9
+        c0_capacity = knobs.cpu_share * freq_hz
+        rx = self.params.rx_drop_cycles
+        if delivered * cpps[0] > c0_capacity and cpps[0] > rx:
+            nf0_rate = max(0.0, (c0_capacity - delivered * rx) / (cpps[0] - rx))
+            achieved = min(achieved, nf0_rate)
+
+        # 5. Per-NF utilization.
+        per_nf: list[NFTelemetry] = []
+        busy_cores = 0.0
+        for i, nf in enumerate(chain.nfs):
+            capacity = knobs.cpu_share * freq_hz
+            work = achieved * cpps[i]
+            if i == 0:
+                work += max(0.0, delivered - achieved) * rx
+            util = min(1.0, work / capacity) if capacity > 0 else 0.0
+            if self.polling == PollingMode.POLL:
+                util = 1.0 if knobs.cpu_share > 0 else 0.0
+            else:
+                util = min(1.0, util + self.params.adaptive_poll_overhead)
+            per_nf.append(
+                NFTelemetry(
+                    name=nf.name,
+                    cycles_per_packet=cpps[i],
+                    service_rate_pps=knobs.cpu_share * freq_hz / cpps[i],
+                    utilization=util,
+                    misses_per_packet=misses_pp[i],
+                )
+            )
+            busy_cores += knobs.cpu_share * util
+
+        # Infrastructure (Rx/Tx) threads.
+        infra_util = (
+            self.params.infra_util_poll
+            if self.polling == PollingMode.POLL
+            else self.params.infra_util_adaptive
+        )
+        infra_busy = self.params.infra_cores * infra_util
+        allocated_cores = knobs.cpu_share * len(chain) + self.params.infra_cores
+        total_busy = busy_cores + infra_busy
+
+        # 6. Node power via the Fan et al. model.  Power utilization is
+        #    node-level (busy fraction of all cores), so consuming more
+        #    cycles always costs more energy; cores the chain did not
+        #    allocate sit parked in C6 (GreenNFV "turn[s] off idle CPU
+        #    cores"), shrinking idle power, unless parking is disabled
+        #    (the Baseline leaves every core online).
+        cpu_utilization = min(1.0, total_busy / allocated_cores)
+        if include_power:
+            power_w = self.node_power(
+                total_busy, allocated_cores, knobs.cpu_freq_ghz
+            )
+            energy_j = power_w * dt_s
+        else:
+            power_w = 0.0
+            energy_j = 0.0
+
+        # 7. Diagnostics.
+        total_misses_pp = float(sum(misses_pp))
+        miss_rate = achieved * total_misses_pp
+        dropped = max(0.0, offered_pps - achieved)
+        # Latency: batch fill time + per-NF processing + queueing headroom.
+        proc_s = sum(cpps) / freq_hz if freq_hz > 0 else float("inf")
+        fill_s = knobs.batch_size / max(achieved, 1.0)
+        utilization_peak = (
+            min(1.0, achieved / chain_rate) if chain_rate > 0 else 1.0
+        )
+        queue_s = proc_s * utilization_peak / max(1e-6, 1.0 - min(utilization_peak, 0.999))
+        latency_s = fill_s + proc_s + queue_s
+
+        return TelemetrySample(
+            dt_s=dt_s,
+            offered_pps=offered_pps,
+            achieved_pps=achieved,
+            packet_bytes=packet_bytes,
+            throughput_gbps=pps_to_gbps(achieved, packet_bytes),
+            llc_miss_rate_per_s=miss_rate,
+            cpu_utilization=cpu_utilization,
+            cpu_cores_busy=total_busy,
+            power_w=power_w,
+            energy_j=energy_j,
+            dropped_pps=dropped,
+            latency_s=latency_s,
+            arrival_rate_pps=offered_pps,
+            per_nf=per_nf,
+        )
+
+    def fixed_volume_energy(
+        self,
+        chain: ServiceChain,
+        knobs: KnobSettings,
+        offered_pps: float,
+        packet_bytes: float,
+        volume_packets: float,
+        **step_kwargs,
+    ) -> tuple[float, TelemetrySample]:
+        """Energy to process a fixed packet volume (Fig. 3's metric).
+
+        Runs one representative interval to get rate and power, then
+        charges ``power * volume / rate``.  Returns (energy_j, sample).
+        """
+        if volume_packets <= 0:
+            raise ValueError("volume must be positive")
+        sample = self.step(chain, knobs, offered_pps, packet_bytes, 1.0, **step_kwargs)
+        if sample.achieved_pps <= 0:
+            return float("inf"), sample
+        duration = volume_packets / sample.achieved_pps
+        return sample.power_w * duration, sample

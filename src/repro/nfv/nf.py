@@ -1,0 +1,170 @@
+"""Network-function catalog.
+
+The paper's chains are built from classic middlebox VNFs — "firewalls,
+routers, tunneling gateways, CDNs" (§1) — ranging from "lightweight
+process (e.g., NAT, firewall)" to "more heavyweight (e.g., Evolved Packet
+Core)" (§4.2).  Each NF is characterized by the per-packet work it does:
+
+* ``base_cycles`` — fixed per-packet instruction cost (header parsing,
+  hashing, metadata updates) at the reference IPC;
+* ``per_byte_cycles`` — payload-*computation* cost (checksums, pattern
+  matching) per frame byte;
+* ``state_bytes`` — resident working set (rule tables, flow tables,
+  signature databases) that competes with packet data for LLC capacity;
+* ``state_lines_touched`` — cache lines of that state dereferenced per
+  packet (table walks); each one is a potential LLC miss when the state
+  does not fit the chain's CAT allocation;
+* ``payload_touch_fraction`` — fraction of the frame's cache lines the NF
+  actually reads (header-only NFs touch ~2 lines; DPI reads everything).
+
+The numbers are order-of-magnitude figures for DPDK-based NFs; the
+experiments depend on their *relative* weight (an IDS chain is several
+times heavier and far more memory-bound than a NAT chain), which these
+preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.units import mb_to_bytes
+
+#: Cache lines of frame header every NF must read regardless of payload.
+HEADER_LINES = 2.0
+
+
+@dataclass(frozen=True)
+class NFSpec:
+    """Static per-packet cost model of one virtual network function."""
+
+    name: str
+    base_cycles: float
+    per_byte_cycles: float
+    state_bytes: float
+    state_lines_touched: float
+    payload_touch_fraction: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.base_cycles, self.per_byte_cycles, self.state_bytes) < 0:
+            raise ValueError("NF cost parameters must be non-negative")
+        if self.state_lines_touched < 0:
+            raise ValueError("state_lines_touched must be non-negative")
+        if not 0.0 <= self.payload_touch_fraction <= 1.0:
+            raise ValueError("payload_touch_fraction must be in [0, 1]")
+        if not self.name:
+            raise ValueError("NF needs a name")
+
+    def cycles_for_packet(self, packet_bytes: float) -> float:
+        """Pure compute cycles for one packet (no memory-system effects)."""
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        return self.base_cycles + self.per_byte_cycles * packet_bytes
+
+    def touched_lines(self, packet_bytes: float, line_bytes: float = 64.0) -> float:
+        """Cache lines of the frame this NF reads per packet."""
+        if packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        lines = max(1.0, packet_bytes / line_bytes)
+        return min(lines, HEADER_LINES + self.payload_touch_fraction * lines)
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+NAT = NFSpec(
+    "nat",
+    base_cycles=120.0,
+    per_byte_cycles=0.0,
+    state_bytes=mb_to_bytes(0.125),
+    state_lines_touched=4.0,
+    payload_touch_fraction=0.0,
+    description="Source NAT: 5-tuple hash + header rewrite (lightweight).",
+)
+
+FIREWALL = NFSpec(
+    "firewall",
+    base_cycles=180.0,
+    per_byte_cycles=0.0,
+    state_bytes=mb_to_bytes(0.25),
+    state_lines_touched=6.0,
+    payload_touch_fraction=0.0,
+    description="Stateful ACL firewall: rule-table match on headers.",
+)
+
+ROUTER = NFSpec(
+    "router",
+    base_cycles=150.0,
+    per_byte_cycles=0.0,
+    state_bytes=mb_to_bytes(0.5),
+    state_lines_touched=8.0,
+    payload_touch_fraction=0.0,
+    description="LPM IPv4 router: trie lookup + TTL/cksum update.",
+)
+
+MONITOR = NFSpec(
+    "monitor",
+    base_cycles=140.0,
+    per_byte_cycles=0.05,
+    state_bytes=mb_to_bytes(1.0),
+    state_lines_touched=8.0,
+    payload_touch_fraction=0.10,
+    description="Flow monitor: per-flow counters, light payload sampling.",
+)
+
+TUNNEL_GW = NFSpec(
+    "tunnel_gw",
+    base_cycles=220.0,
+    per_byte_cycles=0.15,
+    state_bytes=mb_to_bytes(0.5),
+    state_lines_touched=6.0,
+    payload_touch_fraction=1.0,
+    description="Tunneling gateway: encap/decap touches the whole frame.",
+)
+
+IDS = NFSpec(
+    "ids",
+    base_cycles=400.0,
+    per_byte_cycles=2.4,
+    state_bytes=mb_to_bytes(4.0),
+    state_lines_touched=32.0,
+    payload_touch_fraction=1.0,
+    description="Signature IDS: multi-pattern scan over the payload "
+    "(several cycles/byte, the chain's compute bottleneck).",
+)
+
+EPC = NFSpec(
+    "epc",
+    base_cycles=900.0,
+    per_byte_cycles=0.25,
+    state_bytes=mb_to_bytes(8.0),
+    state_lines_touched=40.0,
+    payload_touch_fraction=0.30,
+    description="Evolved Packet Core bearer processing (heavyweight).",
+)
+
+CDN_CACHE = NFSpec(
+    "cdn_cache",
+    base_cycles=350.0,
+    per_byte_cycles=0.30,
+    state_bytes=mb_to_bytes(6.0),
+    state_lines_touched=24.0,
+    payload_touch_fraction=0.50,
+    description="CDN edge cache front-end: content hash + hot-object table.",
+)
+
+CATALOG: dict[str, NFSpec] = {
+    nf.name: nf
+    for nf in (NAT, FIREWALL, ROUTER, MONITOR, TUNNEL_GW, IDS, EPC, CDN_CACHE)
+}
+
+
+def get_nf(name: str) -> NFSpec:
+    """Look up a catalog NF by name."""
+    try:
+        return CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown NF {name!r}; catalog: {sorted(CATALOG)}"
+        ) from None

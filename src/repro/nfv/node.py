@@ -1,0 +1,229 @@
+"""A node hosting one or more NF chains.
+
+The node owns the shared hardware — the LLC partitioned with
+:class:`~repro.hw.cache.CacheAllocator`, the DVFS controller, the NIC —
+and steps all resident chains through each control interval, accounting
+for cross-chain LLC contention and producing both per-chain telemetry and
+node-level power.
+
+The Fig. 1 micro-benchmark (two chains C1/C2 sharing one socket under
+different LLC splits) runs directly on this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.cache import CacheAllocator, contention_factor
+from repro.hw.cpu import CpuFreqController, Governor
+from repro.hw.power import EnergyMeter, ServerPowerModel
+from repro.hw.server import ServerSpec
+from repro.nfv.chain import ServiceChain
+from repro.nfv.engine import EngineParams, PacketEngine, PollingMode, TelemetrySample
+from repro.nfv.knobs import DEFAULT_RANGES, KnobRanges, KnobSettings
+from repro.nfv.rings import FluidRing
+
+
+@dataclass
+class HostedChain:
+    """A chain deployed on a node with its current knob settings."""
+
+    chain: ServiceChain
+    knobs: KnobSettings
+    rx_ring: FluidRing = field(default_factory=lambda: FluidRing(capacity_packets=4096))
+    meter: EnergyMeter = field(default_factory=EnergyMeter)
+    last_sample: TelemetrySample | None = None
+
+
+class Node:
+    """One NF-hosting server running an ONVM-style data plane."""
+
+    def __init__(
+        self,
+        server: ServerSpec | None = None,
+        *,
+        params: EngineParams | None = None,
+        polling: PollingMode = PollingMode.ADAPTIVE,
+        governor: Governor = Governor.USERSPACE,
+        ranges: KnobRanges = DEFAULT_RANGES,
+        park_idle_cores: bool = True,
+        cat_enabled: bool = True,
+    ):
+        self.server = server or ServerSpec()
+        self.engine = PacketEngine(
+            self.server,
+            params,
+            polling,
+            cat_enabled=cat_enabled,
+            park_idle_cores=park_idle_cores,
+        )
+        self.cache = CacheAllocator(self.server.llc)
+        self.cpufreq = CpuFreqController(self.server.cpu, governor)
+        self.ranges = ranges
+        self.park_idle_cores = park_idle_cores
+        self.meter = EnergyMeter()
+        self._chains: dict[str, HostedChain] = {}
+
+    # -- deployment --------------------------------------------------------
+
+    @property
+    def chains(self) -> dict[str, HostedChain]:
+        """Chains currently hosted on this node."""
+        return self._chains
+
+    def deploy(self, chain: ServiceChain, knobs: KnobSettings | None = None) -> HostedChain:
+        """Deploy a chain (idempotent per name) with initial knobs."""
+        if chain.name in self._chains:
+            raise ValueError(f"chain {chain.name!r} already deployed")
+        hosted = HostedChain(chain=chain, knobs=(knobs or KnobSettings()).clamped(self.ranges, self.server.cpu))
+        self._chains[chain.name] = hosted
+        self._repartition_llc()
+        return hosted
+
+    def undeploy(self, name: str) -> None:
+        """Remove a chain from the node."""
+        if name not in self._chains:
+            raise KeyError(f"no chain {name!r} on this node")
+        del self._chains[name]
+        if self._chains:
+            self._repartition_llc()
+
+    def apply_knobs(self, name: str, knobs: KnobSettings) -> KnobSettings:
+        """Apply (clamped) knob settings to a chain; returns what stuck.
+
+        Mirrors the real control path: frequency snaps to the DVFS
+        ladder, LLC share becomes whole CAT ways, batch becomes integer.
+        """
+        if name not in self._chains:
+            raise KeyError(f"no chain {name!r} on this node")
+        applied = knobs.clamped(self.ranges, self.server.cpu)
+        self._chains[name].knobs = applied
+        self._repartition_llc()
+        return applied
+
+    def _repartition_llc(self) -> None:
+        """Re-run CAT allocation from the chains' llc_fraction knobs.
+
+        When the requested fractions oversubscribe the allocatable ways,
+        grants are scaled down proportionally — the controller's policy
+        for resolving conflicting chain requests.
+        """
+        if not self._chains:
+            return
+        shares = {n: h.knobs.llc_fraction for n, h in self._chains.items()}
+        total_ways = sum(self.cache.ways_for_fraction(f) for f in shares.values())
+        if total_ways > self.server.llc.allocatable_ways:
+            scale = self.server.llc.allocatable_ways / total_ways
+            shares = {n: max(1e-6, f * scale) for n, f in shares.items()}
+            # Rounding can still overshoot by a way; shave the largest.
+            while (
+                sum(self.cache.ways_for_fraction(f) for f in shares.values())
+                > self.server.llc.allocatable_ways
+            ):
+                biggest = max(shares, key=lambda n: shares[n])
+                shares[biggest] = max(1e-6, shares[biggest] * 0.9)
+        self.cache.allocate(shares)
+
+    def llc_bytes_for(self, name: str) -> float:
+        """LLC capacity currently granted to a chain by CAT."""
+        return self.cache.allocated_bytes(name)
+
+    # -- simulation --------------------------------------------------------
+
+    def step(
+        self,
+        offered: dict[str, tuple[float, float]],
+        dt_s: float = 1.0,
+    ) -> dict[str, TelemetrySample]:
+        """Advance one control interval.
+
+        Parameters
+        ----------
+        offered:
+            Mapping chain name -> (offered_pps, packet_bytes) for this
+            interval.
+        dt_s:
+            Interval length in seconds.
+
+        Returns per-chain telemetry.  Node power is computed once from
+        the union of busy cores and attributed to chains proportionally
+        to the cycles they consumed.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        unknown = set(offered) - set(self._chains)
+        if unknown:
+            raise KeyError(f"offered traffic for unknown chains: {sorted(unknown)}")
+
+        # Cross-chain contention from aggregate LLC demand.
+        total_demand = 0.0
+        for name, hosted in self._chains.items():
+            pps, pkt = offered.get(name, (0.0, 1518.0))
+            total_demand += (
+                hosted.knobs.batch_size * pkt
+                + hosted.chain.total_state_bytes
+                + hosted.knobs.dma_bytes * 0.25
+            )
+        contention = contention_factor(total_demand, self.server.llc.size_bytes)
+
+        # First pass: per-chain physics without power.  The ONVM Rx/Tx
+        # infra threads exist once per node, so their busy/allocated
+        # contribution (which each engine sample includes) is de-duplicated.
+        params = self.engine.params
+        infra_util = (
+            params.infra_util_poll
+            if self.engine.polling.value == "poll"
+            else params.infra_util_adaptive
+        )
+        infra_busy = params.infra_cores * infra_util
+        samples: dict[str, TelemetrySample] = {}
+        busy_cores_total = infra_busy
+        allocated_total = params.infra_cores
+        for name, hosted in self._chains.items():
+            pps, pkt = offered.get(name, (0.0, 1518.0))
+            sample = self.engine.step(
+                hosted.chain,
+                hosted.knobs,
+                pps,
+                pkt,
+                dt_s,
+                llc_bytes=self.llc_bytes_for(name),
+                contention=contention,
+                include_power=False,
+            )
+            # Route through the rx fluid ring for drop/latency accounting.
+            hosted.rx_ring.offer(
+                min(pps, sample.achieved_pps + sample.dropped_pps),
+                max(sample.achieved_pps, 1.0),
+                dt_s,
+            )
+            samples[name] = sample
+            busy_cores_total += max(0.0, sample.cpu_cores_busy - infra_busy)
+            allocated_total += hosted.knobs.cpu_share * len(hosted.chain)
+
+        # Node power: one Fan-model evaluation over the union of chains.
+        freqs = [h.knobs.cpu_freq_ghz for h in self._chains.values()]
+        freq = float(np.mean(freqs)) if freqs else self.server.cpu.base_freq_ghz
+        power_w = self.engine.node_power(busy_cores_total, allocated_total, freq)
+        energy_j = power_w * dt_s
+        self.meter.record(power_w, dt_s, sum(s.achieved_pps * dt_s for s in samples.values()))
+
+        # Attribute power to chains by consumed cycles.
+        weights = {
+            name: max(s.cpu_cores_busy, 1e-9) for name, s in samples.items()
+        }
+        wsum = sum(weights.values())
+        for name, sample in samples.items():
+            share = weights[name] / wsum if wsum > 0 else 1.0 / len(samples)
+            sample.power_w = power_w * share
+            sample.energy_j = energy_j * share
+            hosted = self._chains[name]
+            hosted.meter.record(sample.power_w, dt_s, sample.achieved_pps * dt_s)
+            hosted.last_sample = sample
+        return samples
+
+    def node_power_w(self) -> float:
+        """Most recent node-level average power (0 before any step)."""
+        return self.meter.average_power()

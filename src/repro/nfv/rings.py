@@ -1,0 +1,144 @@
+"""Inter-NF packet rings.
+
+OpenNetVM gives every NF "two circular queues to track incoming and
+outgoing packets"; the ONVM controller's Rx/Tx threads move packet
+references between them.  The simulator uses rings in two ways:
+
+* :class:`RingBuffer` — a real bounded FIFO with batch enqueue/dequeue and
+  drop accounting, exercised directly by tests and by the fine-grained
+  packet-level examples;
+* :class:`FluidRing` — a per-interval fluid approximation (occupancy as a
+  real number) the discrete-time engine uses to track backpressure,
+  occupancy high-water marks and queueing delay via Little's law.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+class RingBuffer:
+    """Bounded circular FIFO with drop-tail semantics.
+
+    Mirrors a DPDK ``rte_ring``: fixed power-of-two-ish capacity, bulk
+    enqueue/dequeue, and producers observe drops when the ring is full.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._buf: list[Any] = [None] * self.capacity
+        self._head = 0  # next dequeue position
+        self._tail = 0  # next enqueue position
+        self._count = 0
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def free_space(self) -> int:
+        """Slots available for enqueue."""
+        return self.capacity - self._count
+
+    def enqueue_burst(self, items: list[Any]) -> int:
+        """Enqueue up to ``len(items)``; excess is dropped (drop-tail).
+
+        Returns the number actually enqueued, like
+        ``rte_ring_enqueue_burst``.
+        """
+        n = min(len(items), self.free_space)
+        for i in range(n):
+            self._buf[self._tail] = items[i]
+            self._tail = (self._tail + 1) % self.capacity
+        self._count += n
+        self.enqueued += n
+        self.dropped += len(items) - n
+        self.high_water = max(self.high_water, self._count)
+        return n
+
+    def dequeue_burst(self, max_items: int) -> list[Any]:
+        """Dequeue up to ``max_items`` in FIFO order."""
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        n = min(max_items, self._count)
+        out = []
+        for _ in range(n):
+            out.append(self._buf[self._head])
+            self._buf[self._head] = None
+            self._head = (self._head + 1) % self.capacity
+        self._count -= n
+        self.dequeued += n
+        return out
+
+    def peek(self) -> Any:
+        """Return (without removing) the head item, or None when empty."""
+        if self._count == 0:
+            return None
+        return self._buf[self._head]
+
+    def clear(self) -> None:
+        """Drop everything (counters retained)."""
+        self._buf = [None] * self.capacity
+        self._head = self._tail = self._count = 0
+
+
+@dataclass
+class FluidRing:
+    """Per-interval fluid model of a ring's occupancy.
+
+    ``offer(in_rate, out_rate, dt)`` integrates arrivals minus service over
+    the interval, capping occupancy at capacity (overflow counts as drops)
+    and flooring at zero.  :meth:`delay_s` applies Little's law for the
+    queueing latency component reported per interval.
+    """
+
+    capacity_packets: float
+    occupancy: float = 0.0
+    dropped: float = 0.0
+    high_water: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_packets <= 0:
+            raise ValueError("capacity must be positive")
+
+    def offer(self, in_rate_pps: float, out_rate_pps: float, dt_s: float) -> float:
+        """Advance one interval; returns the rate actually forwarded.
+
+        The forwarded rate is bounded by what arrived plus what was queued;
+        arrivals that overflow the ring within the interval are dropped.
+        """
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        if in_rate_pps < 0 or out_rate_pps < 0:
+            raise ValueError("rates must be non-negative")
+        arriving = in_rate_pps * dt_s
+        serviceable = out_rate_pps * dt_s
+        available = self.occupancy + arriving
+        served = min(serviceable, available)
+        backlog = available - served
+        if backlog > self.capacity_packets:
+            self.dropped += backlog - self.capacity_packets
+            backlog = self.capacity_packets
+        self.occupancy = backlog
+        self.high_water = max(self.high_water, self.occupancy)
+        return served / dt_s
+
+    def delay_s(self, service_rate_pps: float) -> float:
+        """Little's-law queueing delay at the current occupancy."""
+        if service_rate_pps <= 0:
+            return float("inf") if self.occupancy > 0 else 0.0
+        return self.occupancy / service_rate_pps
+
+    def reset(self) -> None:
+        """Empty the ring and clear statistics."""
+        self.occupancy = 0.0
+        self.dropped = 0.0
+        self.high_water = 0.0

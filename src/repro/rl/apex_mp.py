@@ -1,0 +1,234 @@
+"""OS-process Ape-X: actors in worker processes, learner in the parent.
+
+The cooperative :class:`~repro.rl.apex.ApexCoordinator` reproduces the
+Ape-X *data flow* deterministically; this module provides the actually
+parallel deployment of the same roles, matching the paper's "the actor
+and learner modules can be distributed across multiple workers.  Actors
+run on servers and generate data according to the current policy."
+
+Architecture:
+
+* each :func:`actor_worker` process owns one environment + one DDPG
+  parameter copy and answers two messages over its pipe —
+  ``("params", payload)`` installs fresh parameters (the learner's
+  periodic sync), ``("collect", n)`` runs ``n`` environment steps and
+  ships back ``(transition, priority)`` pairs with locally-computed
+  initial priorities;
+* the parent process hosts the central prioritized replay buffer and the
+  learner; while workers collect, the learner trains on what it already
+  has — the overlap that makes Ape-X scale.
+
+Environment factories must be picklable (a module-level function or a
+``functools.partial`` over one), since workers are spawned/forked.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rl.apex import ApexConfig, ApexLearner
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.per import PrioritizedReplayBuffer
+from repro.rl.replay import Transition, TransitionBatch
+from repro.utils.rng import as_generator, spawn
+
+
+def actor_worker(
+    actor_id: int,
+    env_factory,
+    ddpg_config: DDPGConfig | None,
+    seed: int,
+    conn,
+) -> None:
+    """Worker-process main loop (one NF_CONTROLLER)."""
+    rng = np.random.default_rng(seed)
+    env = env_factory(actor_id, rng)
+    agent = DDPGAgent(env.state_dim, env.action_dim, ddpg_config, rng=seed)
+    obs = env.reset()
+    agent.reset_noise()
+    episodes = 0
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "stop":
+                conn.send(("stopped", actor_id, episodes))
+                return
+            if kind == "params":
+                agent.set_all_params(msg[1])
+                conn.send(("params_ok", actor_id))
+                continue
+            if kind == "collect":
+                n = int(msg[1])
+                local: list[Transition] = []
+                for _ in range(n):
+                    action = agent.act(obs, explore=True)
+                    result = env.step(action)
+                    local.append(
+                        Transition(
+                            state=obs.copy(),
+                            action=np.asarray(action, dtype=np.float64),
+                            reward=float(result.reward),
+                            next_state=result.observation.copy(),
+                            done=bool(result.done),
+                        )
+                    )
+                    if result.done:
+                        obs = env.reset()
+                        agent.reset_noise()
+                        episodes += 1
+                    else:
+                        obs = result.observation
+                batch = TransitionBatch(
+                    states=np.stack([t.state for t in local]),
+                    actions=np.stack([t.action for t in local]),
+                    rewards=np.asarray([t.reward for t in local]),
+                    next_states=np.stack([t.next_state for t in local]),
+                    dones=np.asarray([float(t.done) for t in local]),
+                    indices=np.arange(len(local)),
+                    weights=np.ones(len(local)),
+                )
+                priorities = np.abs(agent.td_errors(batch))
+                conn.send(("experience", actor_id, local, priorities.tolist()))
+                continue
+            raise ValueError(f"unknown message {kind!r}")  # pragma: no cover
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
+
+
+@dataclass
+class ParallelStats:
+    """Progress counters of a parallel run."""
+
+    actor_steps: int = 0
+    learner_updates: int = 0
+    param_syncs: int = 0
+
+
+class ParallelApexCoordinator:
+    """Process-parallel Ape-X driver.
+
+    Use as a context manager (or call :meth:`close`) so worker processes
+    are always reaped::
+
+        with ParallelApexCoordinator(factory, state_dim=4, action_dim=5) as c:
+            c.run_cycles(10)
+            policy = c.policy
+    """
+
+    def __init__(
+        self,
+        env_factory,
+        *,
+        state_dim: int,
+        action_dim: int,
+        config: ApexConfig | None = None,
+        ddpg_config: DDPGConfig | None = None,
+        seed: int = 0,
+        mp_context: str | None = None,
+    ):
+        self.config = config or ApexConfig()
+        self.ddpg_config = ddpg_config
+        ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        gen = as_generator(seed)
+        streams = spawn(gen, 2)
+        self.learner_agent = DDPGAgent(state_dim, action_dim, ddpg_config, rng=streams[0])
+        self.replay = PrioritizedReplayBuffer(self.config.replay_capacity, rng=streams[1])
+        self.learner = ApexLearner(self.learner_agent, self.replay)
+        self.stats = ParallelStats()
+        self._pipes = []
+        self._procs = []
+        for i in range(self.config.n_actors):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=actor_worker,
+                args=(i, env_factory, ddpg_config, seed * 1000 + i, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            self._pipes.append(parent_conn)
+            self._procs.append(proc)
+        self._steps_since_sync = 0
+        self._closed = False
+        self._sync_params()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ParallelApexCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop workers and join their processes."""
+        if self._closed:
+            return
+        self._closed = True
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                continue
+        for pipe, proc in zip(self._pipes, self._procs):
+            try:
+                if pipe.poll(2.0):
+                    pipe.recv()
+            except (EOFError, OSError):  # pragma: no cover
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+
+    # -- training ----------------------------------------------------------
+
+    def _sync_params(self) -> None:
+        payload = self.learner.params()
+        for pipe in self._pipes:
+            pipe.send(("params", payload))
+        for pipe in self._pipes:
+            kind, _ = pipe.recv()
+            if kind != "params_ok":  # pragma: no cover
+                raise RuntimeError(f"unexpected worker reply {kind!r}")
+        self.stats.param_syncs += 1
+
+    def run_cycles(self, n_cycles: int) -> ParallelStats:
+        """Run the parallel collect/learn schedule for ``n_cycles``.
+
+        Each cycle: every worker collects ``actor_steps_per_cycle`` steps
+        *concurrently*; while they run, the learner trains on the replay
+        it already holds; arriving experience is ingested and parameters
+        are re-synced on the usual cadence.
+        """
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be >= 1")
+        cfg = self.config
+        for _ in range(n_cycles):
+            for pipe in self._pipes:
+                pipe.send(("collect", cfg.actor_steps_per_cycle))
+            # Overlap: learn while the workers are stepping.
+            if len(self.replay) >= cfg.warmup_transitions:
+                self.learner.learn(cfg.learner_steps_per_cycle)
+            for pipe in self._pipes:
+                kind, _actor_id, transitions, priorities = pipe.recv()
+                if kind != "experience":  # pragma: no cover
+                    raise RuntimeError(f"unexpected worker reply {kind!r}")
+                self.learner.ingest(list(zip(transitions, priorities)))
+                self.stats.actor_steps += len(transitions)
+                self._steps_since_sync += len(transitions)
+            if self._steps_since_sync >= cfg.sync_every_steps:
+                self._sync_params()
+                self._steps_since_sync = 0
+        self.stats.learner_updates = self.learner.updates_done
+        return self.stats
+
+    @property
+    def policy(self) -> DDPGAgent:
+        """The central learner's agent."""
+        return self.learner_agent

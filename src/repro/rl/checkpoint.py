@@ -1,0 +1,88 @@
+"""Policy checkpointing.
+
+"The GreenNFV model needs to be trained only once before deployment and
+is run many times during the decision-making process" — which requires
+persisting the trained networks.  Checkpoints are plain ``.npz`` archives
+(no pickle, no framework): each parameter array is stored under
+``<network>/<index>`` keys plus a small metadata header, so a checkpoint
+written by one version of the library loads anywhere numpy does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+
+#: Checkpoint format version; bump on layout changes.
+FORMAT_VERSION = 1
+
+_NETWORKS = ("actor", "critic", "target_actor", "target_critic")
+
+
+def save_agent(agent: DDPGAgent, path: str | Path) -> Path:
+    """Write a DDPG agent's networks + config to a ``.npz`` checkpoint.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {}
+    params = agent.get_all_params()
+    for net in _NETWORKS:
+        for i, arr in enumerate(params[net]):
+            arrays[f"{net}/{i}"] = arr
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "state_dim": agent.state_dim,
+        "action_dim": agent.action_dim,
+        "hidden": list(agent.config.hidden),
+        "gamma": agent.config.gamma,
+        "tau": agent.config.tau,
+        "noise_type": agent.config.noise_type,
+        "updates_done": agent.updates_done,
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    return path
+
+
+def load_agent(path: str | Path, *, rng=0) -> DDPGAgent:
+    """Rebuild a DDPG agent from a checkpoint written by :func:`save_agent`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path) as data:
+        if "__meta__" not in data:
+            raise ValueError(f"{path} is not a GreenNFV checkpoint (missing metadata)")
+        meta = json.loads(bytes(data["__meta__"].tobytes()).decode("utf-8"))
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {meta.get('format_version')!r}"
+            )
+        config = DDPGConfig(
+            hidden=tuple(meta["hidden"]),
+            gamma=meta["gamma"],
+            tau=meta["tau"],
+            noise_type=meta["noise_type"],
+        )
+        agent = DDPGAgent(meta["state_dim"], meta["action_dim"], config, rng=rng)
+        params: dict[str, list[np.ndarray]] = {}
+        for net in _NETWORKS:
+            keys = sorted(
+                (k for k in data.files if k.startswith(f"{net}/")),
+                key=lambda k: int(k.split("/")[1]),
+            )
+            if not keys:
+                raise ValueError(f"checkpoint missing network {net!r}")
+            params[net] = [data[k] for k in keys]
+        agent.set_all_params(params)
+        agent.updates_done = int(meta.get("updates_done", 0))
+    return agent

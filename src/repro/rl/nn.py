@@ -1,0 +1,283 @@
+"""Minimal dense neural networks in pure numpy.
+
+The paper trains its DDPG actor/critic with TensorFlow 1.x; this offline
+reproduction implements the same two-hidden-layer MLPs with manual
+backpropagation and Adam.  The implementation is deliberately small but
+complete for DDPG's needs:
+
+* forward passes over batches,
+* gradients w.r.t. parameters (critic loss, actor policy gradient),
+* gradients w.r.t. *inputs* (the actor update needs dQ/da through the
+  critic),
+* Adam optimizer state per network,
+* soft target-network updates theta' <- tau*theta + (1-tau)*theta',
+* parameter (de)serialization for the Ape-X learner->actor sync.
+
+All math is float64 and vectorized over the batch dimension, per the
+numpy-first performance guidance for this codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+_ACTIVATIONS = ("relu", "tanh", "linear")
+
+
+def _act(name: str, z: np.ndarray) -> np.ndarray:
+    if name == "relu":
+        return np.maximum(z, 0.0)
+    if name == "tanh":
+        return np.tanh(z)
+    if name == "linear":
+        return z
+    raise ValueError(f"unknown activation {name!r}; options: {_ACTIVATIONS}")
+
+
+def _act_grad(name: str, z: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """d activation / d pre-activation, given pre-activation z and output a."""
+    if name == "relu":
+        return (z > 0.0).astype(z.dtype)
+    if name == "tanh":
+        return 1.0 - a * a
+    if name == "linear":
+        return np.ones_like(z)
+    raise ValueError(f"unknown activation {name!r}")
+
+
+@dataclass
+class DenseLayer:
+    """One fully-connected layer with weights, bias and activation."""
+
+    weights: np.ndarray
+    bias: np.ndarray
+    activation: str
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature count."""
+        return self.weights.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature count."""
+        return self.weights.shape[1]
+
+
+class MLP:
+    """A feed-forward network with explicit backprop.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[in, h1, ..., out]`` — at least one layer.
+    activations:
+        One name per layer (``len(layer_sizes) - 1`` entries); defaults to
+        relu hidden layers and a linear output.
+    final_init_scale:
+        DDPG initializes the output layer with small uniform weights
+        (3e-3 in the original paper) so initial actions/values are near
+        zero; hidden layers use fan-in scaling.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        activations: list[str] | None = None,
+        *,
+        rng: RngLike = None,
+        final_init_scale: float = 3e-3,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output size")
+        if any(s <= 0 for s in layer_sizes):
+            raise ValueError("layer sizes must be positive")
+        n_layers = len(layer_sizes) - 1
+        if activations is None:
+            activations = ["relu"] * (n_layers - 1) + ["linear"]
+        if len(activations) != n_layers:
+            raise ValueError(
+                f"need {n_layers} activations, got {len(activations)}"
+            )
+        for a in activations:
+            if a not in _ACTIVATIONS:
+                raise ValueError(f"unknown activation {a!r}")
+        gen = as_generator(rng)
+        self.layers: list[DenseLayer] = []
+        for i in range(n_layers):
+            fan_in, fan_out = layer_sizes[i], layer_sizes[i + 1]
+            if i == n_layers - 1:
+                bound = final_init_scale
+            else:
+                bound = 1.0 / np.sqrt(fan_in)
+            w = gen.uniform(-bound, bound, size=(fan_in, fan_out))
+            b = gen.uniform(-bound, bound, size=(fan_out,))
+            self.layers.append(DenseLayer(w, b, activations[i]))
+        self._cache: list[tuple[np.ndarray, np.ndarray, np.ndarray]] | None = None
+
+    # -- shapes --------------------------------------------------------------
+
+    @property
+    def in_dim(self) -> int:
+        """Input feature count."""
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        """Output feature count."""
+        return self.layers[-1].out_dim
+
+    # -- forward / backward ----------------------------------------------------
+
+    def forward(self, x: np.ndarray, *, cache: bool = True) -> np.ndarray:
+        """Batched forward pass; ``x`` is (batch, in_dim) or (in_dim,).
+
+        With ``cache=True`` the intermediate activations are retained for
+        a subsequent :meth:`backward` call.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_dim:
+            raise ValueError(f"expected input dim {self.in_dim}, got {x.shape[1]}")
+        cache_list: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        a = x
+        for layer in self.layers:
+            z = a @ layer.weights + layer.bias
+            out = _act(layer.activation, z)
+            cache_list.append((a, z, out))
+            a = out
+        self._cache = cache_list if cache else None
+        return a
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def backward(
+        self, grad_out: np.ndarray
+    ) -> tuple[list[tuple[np.ndarray, np.ndarray]], np.ndarray]:
+        """Backprop ``dL/d output`` through the cached forward pass.
+
+        Returns ``(param_grads, grad_input)`` where ``param_grads`` is a
+        list of (dW, db) per layer and ``grad_input`` is dL/dx — the
+        latter is what the DDPG actor update chains through the critic.
+        Gradients are averaged the way the caller shaped ``grad_out``
+        (i.e. no implicit 1/batch here).
+        """
+        if self._cache is None:
+            raise RuntimeError("forward(cache=True) must run before backward()")
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        if grad.shape[1] != self.out_dim:
+            raise ValueError(f"expected grad dim {self.out_dim}, got {grad.shape[1]}")
+        param_grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(self.layers)  # type: ignore[list-item]
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            a_in, z, a_out = self._cache[i]
+            dz = grad * _act_grad(layer.activation, z, a_out)
+            dw = a_in.T @ dz
+            db = dz.sum(axis=0)
+            grad = dz @ layer.weights.T
+            param_grads[i] = (dw, db)
+        return param_grads, grad
+
+    def input_gradient(self, x: np.ndarray, grad_out: np.ndarray | None = None) -> np.ndarray:
+        """dL/dx for a fresh forward pass (defaults to sum of outputs)."""
+        out = self.forward(x, cache=True)
+        if grad_out is None:
+            grad_out = np.ones_like(out)
+        _, gin = self.backward(grad_out)
+        return gin
+
+    # -- parameter plumbing ------------------------------------------------------
+
+    def get_params(self) -> list[np.ndarray]:
+        """Flat list of parameter arrays (views, not copies)."""
+        out: list[np.ndarray] = []
+        for layer in self.layers:
+            out.append(layer.weights)
+            out.append(layer.bias)
+        return out
+
+    def set_params(self, params: list[np.ndarray]) -> None:
+        """Overwrite parameters from a list shaped like :meth:`get_params`."""
+        expected = 2 * len(self.layers)
+        if len(params) != expected:
+            raise ValueError(f"expected {expected} arrays, got {len(params)}")
+        for i, layer in enumerate(self.layers):
+            w, b = params[2 * i], params[2 * i + 1]
+            if w.shape != layer.weights.shape or b.shape != layer.bias.shape:
+                raise ValueError(f"shape mismatch at layer {i}")
+            layer.weights = w.copy()
+            layer.bias = b.copy()
+
+    def copy_params(self) -> list[np.ndarray]:
+        """Deep copy of the parameters (for target nets / param sync)."""
+        return [p.copy() for p in self.get_params()]
+
+    def soft_update_from(self, source: "MLP", tau: float) -> None:
+        """theta <- tau * theta_source + (1 - tau) * theta (Algorithm 2)."""
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be in [0, 1]")
+        for mine, theirs in zip(self.get_params(), source.get_params()):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def clone(self) -> "MLP":
+        """Structural copy with identical parameters (target-net init)."""
+        sizes = [self.in_dim] + [layer.out_dim for layer in self.layers]
+        acts = [layer.activation for layer in self.layers]
+        out = MLP(sizes, acts, rng=0)
+        out.set_params(self.copy_params())
+        return out
+
+
+class Adam:
+    """Adam optimizer over an MLP's parameter list."""
+
+    def __init__(
+        self,
+        net: MLP,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        *,
+        grad_clip: float | None = 10.0,
+    ):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.net = net
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p) for p in net.get_params()]
+        self._v = [np.zeros_like(p) for p in net.get_params()]
+        self._t = 0
+
+    def step(self, param_grads: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Apply one update from per-layer (dW, db) gradients."""
+        flat: list[np.ndarray] = []
+        for dw, db in param_grads:
+            flat.append(dw)
+            flat.append(db)
+        params = self.net.get_params()
+        if len(flat) != len(params):
+            raise ValueError("gradient list does not match parameter list")
+        if self.grad_clip is not None:
+            norm = np.sqrt(sum(float(np.sum(g * g)) for g in flat))
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+                flat = [g * scale for g in flat]
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, flat, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)

@@ -1,0 +1,154 @@
+"""Prioritized experience replay (Schaul et al. 2016), Ape-X style.
+
+"Prioritized experience sampling, as the name implies, will weigh the
+samples so that 'important' ones are drawn more frequently for training."
+(§4.3.2).  Transitions are sampled with probability proportional to
+``(|td_error| + eps)^alpha`` and corrected with importance-sampling
+weights ``(1 / (N * P(i)))^beta``; beta anneals from ``beta0`` to 1.
+
+New transitions enter with the current maximum priority so every sample
+is replayed at least once — and, as in Ape-X, actors may attach initial
+priorities computed locally so the learner doesn't need a first pass.
+The buffer also supports the "periodically remove the old experiences"
+step of Algorithm 3 via FIFO eviction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.replay import Transition, TransitionBatch
+from repro.rl.sumtree import SumTree
+from repro.utils.rng import RngLike, as_generator
+
+
+class PrioritizedReplayBuffer:
+    """Proportional-prioritization replay with IS-weight correction."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        alpha: float = 0.6,
+        beta0: float = 0.4,
+        beta_steps: int = 100_000,
+        eps: float = 1e-3,
+        rng: RngLike = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if not 0.0 < beta0 <= 1.0:
+            raise ValueError("beta0 must be in (0, 1]")
+        if beta_steps < 1:
+            raise ValueError("beta_steps must be >= 1")
+        self.capacity = int(capacity)
+        self.alpha = alpha
+        self.beta0 = beta0
+        self.beta_steps = beta_steps
+        self.eps = eps
+        self._tree = SumTree(self.capacity)
+        self._storage: list[Transition | None] = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        self._max_priority = 1.0
+        self._samples_drawn = 0
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def beta(self) -> float:
+        """Current IS exponent, annealed linearly to 1."""
+        frac = min(1.0, self._samples_drawn / self.beta_steps)
+        return self.beta0 + (1.0 - self.beta0) * frac
+
+    def add(self, transition: Transition, priority: float | None = None) -> int:
+        """Insert a transition; returns the slot it occupies.
+
+        ``priority`` is the raw |TD error|-like magnitude (pre-alpha);
+        defaults to the running max so fresh data is sampled soon.
+        """
+        raw = self._max_priority if priority is None else abs(float(priority))
+        raw = max(raw, self.eps)
+        self._max_priority = max(self._max_priority, raw)
+        slot = self._next
+        self._storage[slot] = transition
+        self._tree.set(slot, raw**self.alpha)
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return slot
+
+    def extend(
+        self, transitions: list[Transition], priorities: list[float] | None = None
+    ) -> list[int]:
+        """Bulk insert (an actor flushing its local buffer)."""
+        if priorities is not None and len(priorities) != len(transitions):
+            raise ValueError("priorities must align with transitions")
+        slots = []
+        for i, t in enumerate(transitions):
+            p = None if priorities is None else priorities[i]
+            slots.append(self.add(t, p))
+        return slots
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        """Draw a prioritized minibatch with IS weights (max-normalized)."""
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if self._size == 0:
+            raise RuntimeError("cannot sample from an empty buffer")
+        idx = self._tree.sample(batch_size, self._rng)
+        self._samples_drawn += batch_size
+        total = self._tree.total
+        probs = np.asarray([self._tree.get(int(i)) for i in idx]) / total
+        n = self._size
+        weights = np.power(n * np.maximum(probs, 1e-12), -self.beta)
+        weights /= weights.max()
+        items = [self._storage[int(i)] for i in idx]
+        if any(t is None for t in items):  # pragma: no cover - defensive
+            raise RuntimeError("sampled an empty slot; tree/storage out of sync")
+        return TransitionBatch(
+            states=np.stack([t.state for t in items]),  # type: ignore[union-attr]
+            actions=np.stack([t.action for t in items]),  # type: ignore[union-attr]
+            rewards=np.asarray([t.reward for t in items], dtype=np.float64),  # type: ignore[union-attr]
+            next_states=np.stack([t.next_state for t in items]),  # type: ignore[union-attr]
+            dones=np.asarray([t.done for t in items], dtype=np.float64),  # type: ignore[union-attr]
+            indices=np.asarray(idx, dtype=np.int64),
+            weights=weights,
+        )
+
+    def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
+        """Refresh priorities after a learner step (Algorithm 3 line 15-17)."""
+        indices = np.asarray(indices)
+        td_errors = np.asarray(td_errors, dtype=np.float64)
+        if indices.shape != td_errors.shape:
+            raise ValueError("indices and td_errors must align")
+        for slot, err in zip(indices, td_errors):
+            raw = max(abs(float(err)), self.eps)
+            self._max_priority = max(self._max_priority, raw)
+            self._tree.set(int(slot), raw**self.alpha)
+
+    def evict_oldest(self, n: int) -> int:
+        """Remove up to ``n`` of the oldest experiences.
+
+        Implements "periodically remove the old experiences from replay
+        buffer".  Eviction zeroes the slot's priority so it can no longer
+        be sampled; the slot is reused by subsequent adds.  Returns the
+        number actually evicted.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        evicted = 0
+        # Oldest slots are the ones the ring pointer will overwrite next.
+        probe = self._next if self._size == self.capacity else 0
+        for _ in range(min(n, self._size)):
+            while self._storage[probe] is None:
+                probe = (probe + 1) % self.capacity
+            self._storage[probe] = None
+            self._tree.set(probe, 0.0)
+            probe = (probe + 1) % self.capacity
+            self._size -= 1
+            evicted += 1
+        return evicted

@@ -1,0 +1,153 @@
+"""Tabular Q-learning baseline with discretized state/action spaces.
+
+The paper compares against "the Q-learning model.  For the Q-learning
+model, we discretize the action and state space" (§5) and observes that
+it "has difficulty increasing the throughput [because] it works with
+predefined discrete levels of parameters.  Therefore, fine-tuning the
+parameters is difficult in real-time."
+
+The action space discretizes each of the 5 knobs into ``k`` levels —
+``k^5`` joint actions, exactly the exponential blow-up §4.3 describes
+(O(k^5) per flow).  States bin each observation dimension into ``m``
+levels.  The Q-table is stored sparsely (dict) since most of the
+``m^4 x k^5`` entries are never visited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class QLearningConfig:
+    """Hyper-parameters of the tabular baseline."""
+
+    action_levels: int = 3  # k discrete levels per knob
+    state_bins: int = 6  # m bins per state dimension
+    gamma: float = 0.95
+    lr: float = 0.15
+    epsilon: float = 1.0
+    epsilon_min: float = 0.05
+    epsilon_decay: float = 0.999
+
+    def __post_init__(self) -> None:
+        if self.action_levels < 2:
+            raise ValueError("need at least 2 levels per knob")
+        if self.state_bins < 2:
+            raise ValueError("need at least 2 state bins")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError("gamma must be in (0, 1)")
+        if not 0.0 < self.lr <= 1.0:
+            raise ValueError("lr must be in (0, 1]")
+
+
+class QLearningAgent:
+    """Epsilon-greedy tabular Q-learning over discretized knobs.
+
+    Actions are exposed in the same normalized ``[-1, 1]^n`` space the
+    DDPG agent uses, so both plug into the identical environment; the
+    difference is that this agent can only emit ``k`` distinct values per
+    dimension.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        config: QLearningConfig | None = None,
+        *,
+        state_low: np.ndarray | None = None,
+        state_high: np.ndarray | None = None,
+        rng: RngLike = None,
+    ):
+        if state_dim < 1 or action_dim < 1:
+            raise ValueError("state and action dims must be >= 1")
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.config = config or QLearningConfig()
+        self._rng = as_generator(rng)
+        k = self.config.action_levels
+        levels = np.linspace(-1.0, 1.0, k)
+        # Enumerate the full joint action set: k^action_dim vectors.
+        self._actions = np.asarray(
+            [list(combo) for combo in product(levels, repeat=action_dim)],
+            dtype=np.float64,
+        )
+        self._q: dict[tuple[int, ...], np.ndarray] = {}
+        self.epsilon = self.config.epsilon
+        lo = np.full(state_dim, -1.0) if state_low is None else np.asarray(state_low, float)
+        hi = np.full(state_dim, 1.0) if state_high is None else np.asarray(state_high, float)
+        if lo.shape != (state_dim,) or hi.shape != (state_dim,):
+            raise ValueError("state bounds must match state_dim")
+        if np.any(hi <= lo):
+            raise ValueError("state_high must exceed state_low")
+        self._lo, self._hi = lo, hi
+
+    @property
+    def n_actions(self) -> int:
+        """Size of the joint discrete action set (k^action_dim)."""
+        return self._actions.shape[0]
+
+    @property
+    def table_entries(self) -> int:
+        """Visited states x actions currently stored."""
+        return len(self._q) * self.n_actions
+
+    def discretize(self, state: np.ndarray) -> tuple[int, ...]:
+        """Bin a continuous state into the table key."""
+        state = np.asarray(state, dtype=np.float64)
+        if state.shape != (self.state_dim,):
+            raise ValueError(f"expected state shape ({self.state_dim},)")
+        frac = (state - self._lo) / (self._hi - self._lo)
+        bins = np.clip(
+            (frac * self.config.state_bins).astype(int), 0, self.config.state_bins - 1
+        )
+        return tuple(int(b) for b in bins)
+
+    def _row(self, key: tuple[int, ...]) -> np.ndarray:
+        if key not in self._q:
+            self._q[key] = np.zeros(self.n_actions, dtype=np.float64)
+        return self._q[key]
+
+    def act(self, state: np.ndarray, *, explore: bool = True) -> np.ndarray:
+        """Epsilon-greedy action in normalized [-1, 1]^action_dim space."""
+        key = self.discretize(state)
+        row = self._row(key)
+        if explore and self._rng.random() < self.epsilon:
+            idx = int(self._rng.integers(self.n_actions))
+        else:
+            idx = int(np.argmax(row))
+        return self._actions[idx].copy()
+
+    def action_index(self, action: np.ndarray) -> int:
+        """Index of the discrete action nearest to ``action``."""
+        action = np.asarray(action, dtype=np.float64)
+        dists = np.sum((self._actions - action) ** 2, axis=1)
+        return int(np.argmin(dists))
+
+    def update(
+        self,
+        state: np.ndarray,
+        action: np.ndarray,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool = False,
+    ) -> float:
+        """One Watkins Q-learning backup; returns the TD error."""
+        cfg = self.config
+        key = self.discretize(state)
+        next_key = self.discretize(next_state)
+        idx = self.action_index(action)
+        row = self._row(key)
+        target = reward
+        if not done:
+            target += cfg.gamma * float(np.max(self._row(next_key)))
+        td = target - row[idx]
+        row[idx] += cfg.lr * td
+        self.epsilon = max(cfg.epsilon_min, self.epsilon * cfg.epsilon_decay)
+        return float(td)

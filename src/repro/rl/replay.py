@@ -1,0 +1,101 @@
+"""Uniform experience replay.
+
+"In contrast to consuming samples online and discarding them later,
+sampling from the stored experiences means they are less heavily
+'correlated' and can be reused for learning."  This is the plain ring
+buffer variant; the prioritized version lives in :mod:`repro.rl.per`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One experience tuple (x_i, a_i, r_i, x_{i+1}, done)."""
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    done: bool = False
+
+
+@dataclass
+class TransitionBatch:
+    """A column-stacked minibatch of transitions."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray  # importance weights (all ones for uniform replay)
+
+    def __len__(self) -> int:
+        return self.states.shape[0]
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO replay buffer with uniform sampling."""
+
+    def __init__(self, capacity: int, *, rng: RngLike = None):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._storage: list[Transition] = []
+        self._next = 0
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def full(self) -> bool:
+        """True when the buffer has wrapped at least once."""
+        return len(self._storage) == self.capacity
+
+    def add(self, transition: Transition) -> None:
+        """Insert one transition, evicting the oldest when full."""
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._next] = transition
+        self._next = (self._next + 1) % self.capacity
+
+    def extend(self, transitions: list[Transition]) -> None:
+        """Insert a batch of transitions (actor local-buffer flush)."""
+        for t in transitions:
+            self.add(t)
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        """Uniformly sample ``batch_size`` transitions with replacement."""
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if not self._storage:
+            raise RuntimeError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, len(self._storage), size=batch_size)
+        return self._gather(idx)
+
+    def _gather(self, idx: np.ndarray) -> TransitionBatch:
+        items = [self._storage[i] for i in idx]
+        return TransitionBatch(
+            states=np.stack([t.state for t in items]),
+            actions=np.stack([t.action for t in items]),
+            rewards=np.asarray([t.reward for t in items], dtype=np.float64),
+            next_states=np.stack([t.next_state for t in items]),
+            dones=np.asarray([t.done for t in items], dtype=np.float64),
+            indices=np.asarray(idx, dtype=np.int64),
+            weights=np.ones(len(items), dtype=np.float64),
+        )
+
+    def clear(self) -> None:
+        """Drop all stored transitions."""
+        self._storage.clear()
+        self._next = 0

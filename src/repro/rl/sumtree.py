@@ -1,0 +1,93 @@
+"""Sum-tree (Fenwick-style complete binary tree) for prioritized replay.
+
+Prioritized experience replay samples transition *i* with probability
+``p_i^alpha / sum_k p_k^alpha``.  The sum tree stores the priorities in
+the leaves and partial sums in internal nodes so that both priority
+updates and proportional sampling are O(log n).
+
+The tree is laid out in a flat array of size ``2 * capacity - 1`` with
+the root at index 0 and the ``capacity`` leaves at the end — the classic
+arrangement from the PER reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SumTree:
+    """Flat-array sum tree over ``capacity`` priority slots."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._nodes = np.zeros(2 * self.capacity - 1, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        """Sum of all priorities (the root node)."""
+        return float(self._nodes[0])
+
+    def _leaf_index(self, slot: int) -> int:
+        if not 0 <= slot < self.capacity:
+            raise IndexError(f"slot {slot} out of range [0, {self.capacity})")
+        return slot + self.capacity - 1
+
+    def get(self, slot: int) -> float:
+        """Priority currently stored in ``slot``."""
+        return float(self._nodes[self._leaf_index(slot)])
+
+    def set(self, slot: int, priority: float) -> None:
+        """Set a slot's priority and propagate the delta to the root."""
+        if priority < 0 or not np.isfinite(priority):
+            raise ValueError(f"priority must be finite and >= 0, got {priority}")
+        idx = self._leaf_index(slot)
+        delta = priority - self._nodes[idx]
+        self._nodes[idx] = priority
+        while idx > 0:
+            idx = (idx - 1) // 2
+            self._nodes[idx] += delta
+
+    def find_prefix(self, mass: float) -> int:
+        """Return the slot whose cumulative priority interval contains ``mass``.
+
+        ``mass`` must be in ``[0, total)``; descending from the root takes
+        the left child when the mass falls inside its subtree sum,
+        otherwise subtracts and goes right.
+        """
+        if self.total <= 0:
+            raise RuntimeError("cannot sample from an empty/zero tree")
+        mass = float(np.clip(mass, 0.0, np.nextafter(self.total, 0.0)))
+        idx = 0
+        while idx < self.capacity - 1:  # until we reach a leaf
+            left = 2 * idx + 1
+            if mass < self._nodes[left] or self._nodes[2 * idx + 2] == 0.0:
+                idx = left
+            else:
+                mass -= self._nodes[left]
+                idx = left + 1
+        return idx - (self.capacity - 1)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Stratified proportional sampling of ``n`` slots.
+
+        The total mass is split into ``n`` equal strata with one uniform
+        draw each — the standard PER variance-reduction trick.
+        """
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        bounds = np.linspace(0.0, self.total, n + 1)
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            mass = rng.uniform(bounds[i], bounds[i + 1])
+            out[i] = self.find_prefix(mass)
+        return out
+
+    def min_positive(self) -> float:
+        """Smallest non-zero leaf priority (for max importance weight)."""
+        leaves = self._nodes[self.capacity - 1 :]
+        positive = leaves[leaves > 0]
+        if positive.size == 0:
+            return 0.0
+        return float(positive.min())

@@ -1,0 +1,13 @@
+"""SDN flow steering cooperating with NF controllers (the paper's §6)."""
+
+from repro.sdn.controller import ChainReplica, SdnConfig, SdnController
+from repro.sdn.flows import FlowSpec, SteeringRule, SteeringTable
+
+__all__ = [
+    "ChainReplica",
+    "SdnConfig",
+    "SdnController",
+    "FlowSpec",
+    "SteeringRule",
+    "SteeringTable",
+]

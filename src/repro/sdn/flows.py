@@ -1,0 +1,83 @@
+"""Flow abstraction for SDN steering.
+
+The paper's future work (§6): "we plan to incorporate software-defined
+networking (SDN) and NF controllers to provide higher flexibility.  We
+envision a model where both the SDN controller and NF controller can
+update each other to perform more effective flow scheduling."
+
+A :class:`FlowSpec` is a steerable unit of traffic — an aggregate the
+SDN controller can map onto any chain that implements its required
+service.  The steering table tracks the current assignment and the
+rules' revision history (as an OpenFlow-style controller would).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.traffic.generators import TrafficGenerator
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class FlowSpec:
+    """One steerable traffic aggregate."""
+
+    name: str
+    generator: TrafficGenerator
+    #: Service type the flow needs; it may only be steered to chains
+    #: offering this service (e.g. all replicas of the same SFC).
+    service: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("flow needs a name")
+
+    def rate_at(self, t_s: float, dt_s: float, rng: RngLike = None) -> float:
+        """Offered rate for the interval (delegates to the generator)."""
+        return self.generator.rate_at(t_s, dt_s, rng)
+
+    @property
+    def packet_bytes(self) -> float:
+        """Mean frame size of the flow."""
+        return self.generator.packet_sizes.mean_bytes
+
+
+@dataclass(frozen=True)
+class SteeringRule:
+    """One revision of a flow's assignment."""
+
+    flow: str
+    chain: str
+    revision: int
+    reason: str = ""
+
+
+@dataclass
+class SteeringTable:
+    """Flow -> chain assignment with revision history."""
+
+    rules: dict[str, SteeringRule] = field(default_factory=dict)
+    history: list[SteeringRule] = field(default_factory=list)
+    migrations: int = 0
+
+    def assign(self, flow: str, chain: str, *, reason: str = "") -> SteeringRule:
+        """Install/replace the rule for a flow; returns the new rule."""
+        prev = self.rules.get(flow)
+        revision = (prev.revision + 1) if prev else 0
+        rule = SteeringRule(flow=flow, chain=chain, revision=revision, reason=reason)
+        self.rules[flow] = rule
+        self.history.append(rule)
+        if prev is not None and prev.chain != chain:
+            self.migrations += 1
+        return rule
+
+    def chain_of(self, flow: str) -> str:
+        """Current chain for a flow."""
+        if flow not in self.rules:
+            raise KeyError(f"no steering rule for flow {flow!r}")
+        return self.rules[flow].chain
+
+    def flows_on(self, chain: str) -> list[str]:
+        """Flows currently steered to a chain."""
+        return [f for f, r in self.rules.items() if r.chain == chain]

@@ -1,0 +1,179 @@
+"""ASCII table / series rendering for the benchmark harness.
+
+Every benchmark prints the same rows or series the paper's figure shows,
+in a plain-text table that is easy to diff against EXPERIMENTS.md.  This
+module keeps the formatting in one place so all benches look alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def format_value(v: Any, precision: int = 3) -> str:
+    """Render one table cell: floats to fixed precision, rest via str."""
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if abs(v) >= 1e6 or (v != 0 and abs(v) < 10 ** (-precision)):
+            return f"{v:.{precision}e}"
+        return f"{v:.{precision}f}"
+    return str(v)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    Column widths adapt to the longest cell; numeric cells are
+    right-aligned, text cells left-aligned.
+    """
+    str_rows = [[format_value(c, precision) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(col: int) -> bool:
+        cells = [r[col] for r in str_rows]
+        return bool(cells) and all(
+            c.replace(".", "").replace("-", "").replace("e", "").replace("+", "").replace("x", "").replace("inf", "0").replace("nan", "0").isdigit()
+            or _parses_float(c)
+            for c in cells
+        )
+
+    numeric = [is_numeric(i) for i in range(len(headers))]
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if numeric[i]:
+                parts.append(f" {cell:>{widths[i]}} ")
+            else:
+                parts.append(f" {cell:<{widths[i]}} ")
+        return "|" + "|".join(parts) + "|"
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def _parses_float(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+def render_series(
+    name: str,
+    xs: Sequence[float],
+    ys: Sequence[float],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 60,
+    height: int = 12,
+) -> str:
+    """Render a coarse ASCII line plot of a series (for training curves).
+
+    This is intentionally low-fi: the benchmark output needs to convey the
+    *shape* of the curve (rising throughput, falling energy) next to the
+    numeric endpoints, not be publication-quality.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        return f"{name}: (empty series)"
+    import numpy as np
+
+    ys_arr = np.asarray(ys, dtype=np.float64)
+    xs_arr = np.asarray(xs, dtype=np.float64)
+    finite = np.isfinite(ys_arr)
+    if not finite.any():
+        return f"{name}: (no finite values)"
+    lo, hi = float(ys_arr[finite].min()), float(ys_arr[finite].max())
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(xs_arr)
+    for i in range(n):
+        if not np.isfinite(ys_arr[i]):
+            continue
+        col = int((width - 1) * (i / max(n - 1, 1)))
+        row = int((height - 1) * (1 - (ys_arr[i] - lo) / (hi - lo)))
+        grid[row][col] = "*"
+    lines = [f"{name}  ({y_label} vs {x_label})"]
+    lines.append(f"  {hi:.4g} ┤" + "".join(grid[0]))
+    for r in range(1, height - 1):
+        lines.append(" " * 9 + "│" + "".join(grid[r]))
+    lines.append(f"  {lo:.4g} ┤" + "".join(grid[-1]))
+    lines.append(
+        " " * 10 + f"{xs_arr[0]:.4g}" + " " * max(1, width - 12) + f"{xs_arr[-1]:.4g}"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """Accumulates tables/series for one experiment and renders them.
+
+    The benchmark harness builds one report per figure, then prints it so
+    the run log contains the same rows the paper reports.
+    """
+
+    experiment_id: str
+    description: str = ""
+    sections: list[str] = field(default_factory=list)
+
+    def add_table(
+        self,
+        headers: Sequence[str],
+        rows: Iterable[Sequence[Any]],
+        *,
+        title: str | None = None,
+        precision: int = 3,
+    ) -> None:
+        """Append a rendered table section."""
+        self.sections.append(render_table(headers, rows, title=title, precision=precision))
+
+    def add_series(self, name: str, xs: Sequence[float], ys: Sequence[float], **kw: Any) -> None:
+        """Append a rendered ASCII series section."""
+        self.sections.append(render_series(name, xs, ys, **kw))
+
+    def add_text(self, text: str) -> None:
+        """Append a free-form text section."""
+        self.sections.append(text)
+
+    def render(self) -> str:
+        """Render the full report."""
+        header = f"=== {self.experiment_id} ==="
+        if self.description:
+            header += f"\n{self.description}"
+        return "\n\n".join([header, *self.sections])
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

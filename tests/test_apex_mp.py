@@ -1,0 +1,89 @@
+"""Process-parallel Ape-X tests.
+
+The factory must be importable from the test module (workers receive it
+across the process boundary).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.env import NFVEnv
+from repro.core.sla import EnergyEfficiencySLA
+from repro.rl.apex import ApexConfig
+from repro.rl.apex_mp import ParallelApexCoordinator
+from repro.rl.ddpg import DDPGConfig
+
+SMALL_DDPG = DDPGConfig(hidden=(16, 16), batch_size=16)
+SMALL_APEX = ApexConfig(
+    n_actors=2,
+    local_buffer_size=16,
+    sync_every_steps=32,
+    replay_capacity=2048,
+    warmup_transitions=32,
+    learner_steps_per_cycle=4,
+    actor_steps_per_cycle=16,
+    evict_every_cycles=0,
+)
+
+
+def parallel_env_factory(actor_id, rng):
+    """Module-level factory so worker processes can receive it."""
+    return NFVEnv(EnergyEfficiencySLA(), episode_len=8, rng=rng)
+
+
+class TestParallelApex:
+    def test_run_progresses_and_shuts_down(self):
+        with ParallelApexCoordinator(
+            parallel_env_factory,
+            state_dim=4,
+            action_dim=5,
+            config=SMALL_APEX,
+            ddpg_config=SMALL_DDPG,
+            seed=1,
+        ) as coord:
+            stats = coord.run_cycles(4)
+            assert stats.actor_steps == 4 * 2 * 16
+            assert stats.learner_updates > 0
+            assert stats.param_syncs >= 2
+            action = coord.policy.act(np.zeros(4), explore=False)
+            assert action.shape == (5,)
+        # All workers reaped.
+        assert all(not p.is_alive() for p in coord._procs)
+
+    def test_close_is_idempotent(self):
+        coord = ParallelApexCoordinator(
+            parallel_env_factory,
+            state_dim=4,
+            action_dim=5,
+            config=SMALL_APEX,
+            ddpg_config=SMALL_DDPG,
+            seed=2,
+        )
+        coord.close()
+        coord.close()  # second close is a no-op
+        with pytest.raises(RuntimeError):
+            coord.run_cycles(1)
+
+    def test_replay_receives_worker_experience(self):
+        with ParallelApexCoordinator(
+            parallel_env_factory,
+            state_dim=4,
+            action_dim=5,
+            config=SMALL_APEX,
+            ddpg_config=SMALL_DDPG,
+            seed=3,
+        ) as coord:
+            coord.run_cycles(2)
+            assert len(coord.replay) == 2 * 2 * 16
+
+    def test_validation(self):
+        with ParallelApexCoordinator(
+            parallel_env_factory,
+            state_dim=4,
+            action_dim=5,
+            config=SMALL_APEX,
+            ddpg_config=SMALL_DDPG,
+            seed=4,
+        ) as coord:
+            with pytest.raises(ValueError):
+                coord.run_cycles(0)

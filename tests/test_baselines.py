@@ -1,0 +1,210 @@
+"""Baseline-controller tests: Static, Heuristics (Alg. 1), EE-Pstate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EEPstateController,
+    HeuristicController,
+    StaticBaseline,
+    run_controller,
+)
+from repro.nfv.chain import default_chain
+from repro.nfv.engine import PollingMode
+from repro.nfv.knobs import KnobSettings
+from repro.traffic.analysis import FlowAnalyzer
+from repro.traffic.generators import ConstantRateGenerator, MMPPGenerator
+
+
+def telemetry(throughput=5.0, energy=50.0, arrival=5e5):
+    from repro.nfv.engine import TelemetrySample
+
+    return TelemetrySample(
+        dt_s=1.0,
+        offered_pps=arrival,
+        achieved_pps=arrival,
+        packet_bytes=1518.0,
+        throughput_gbps=throughput,
+        llc_miss_rate_per_s=0.0,
+        cpu_utilization=0.5,
+        cpu_cores_busy=2.0,
+        power_w=energy,
+        energy_j=energy,
+        dropped_pps=0.0,
+        latency_s=1e-3,
+        arrival_rate_pps=arrival,
+    )
+
+
+class TestStaticBaseline:
+    def test_never_adapts(self):
+        ctrl = StaticBaseline()
+        k0 = ctrl.initial_knobs()
+        k1 = ctrl.decide(telemetry(), FlowAnalyzer(), k0)
+        assert k1 == k0
+
+    def test_platform_flags(self):
+        ctrl = StaticBaseline()
+        assert ctrl.polling is PollingMode.POLL
+        assert not ctrl.cat_enabled
+        assert not ctrl.park_idle_cores
+
+    def test_uses_performance_governor(self):
+        assert StaticBaseline().initial_knobs().cpu_freq_ghz == 2.1
+
+
+class TestHeuristicController:
+    def test_initial_assignment_follows_alg1(self):
+        ctrl = HeuristicController()
+        k = ctrl.initial_knobs()
+        assert k.batch_size == 2  # line 4
+        assert k.cpu_share == 1.0  # line 2
+        assert 1.2 < k.cpu_freq_ghz < 2.1  # line 3 (median)
+
+    def test_low_efficiency_steps_frequency_down(self):
+        ctrl = HeuristicController(threshold1=0.5, threshold2=1.2)
+        k0 = ctrl.initial_knobs()
+        k1 = ctrl.decide(telemetry(throughput=0.5, energy=80.0), FlowAnalyzer(), k0)
+        assert k1.cpu_freq_ghz < k0.cpu_freq_ghz
+
+    def test_high_efficiency_steps_frequency_up(self):
+        ctrl = HeuristicController()
+        k0 = ctrl.initial_knobs()
+        k1 = ctrl.decide(telemetry(throughput=9.0, energy=30.0), FlowAnalyzer(), k0)
+        assert k1.cpu_freq_ghz > k0.cpu_freq_ghz
+
+    def test_batch_grows_when_inefficient(self):
+        ctrl = HeuristicController(batch_step=4)
+        k0 = ctrl.initial_knobs()
+        k1 = ctrl.decide(telemetry(throughput=1.0, energy=80.0), FlowAnalyzer(), k0)
+        assert k1.batch_size == k0.batch_size + 4
+
+    def test_batch_shrinks_when_very_efficient(self):
+        ctrl = HeuristicController(batch_step=4)
+        ctrl.decide(telemetry(throughput=1.0, energy=80.0), FlowAnalyzer(), ctrl.initial_knobs())
+        k = ctrl.decide(telemetry(throughput=9.9, energy=10.0), FlowAnalyzer(), None)
+        assert k.batch_size <= 2 + 4  # grew once, then shrank
+
+    def test_dma_tracks_batch(self):
+        ctrl = HeuristicController()
+        k_small = ctrl._dma_for(2)
+        k_big = ctrl._dma_for(128)
+        assert k_big > k_small
+
+    def test_reset_restores_initial(self):
+        ctrl = HeuristicController()
+        ctrl.decide(telemetry(), FlowAnalyzer(), ctrl.initial_knobs())
+        ctrl.reset()
+        assert ctrl._knobs == ctrl.initial_knobs()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HeuristicController(threshold1=2.0, threshold2=1.0)
+        with pytest.raises(ValueError):
+            HeuristicController(batch_step=0)
+
+    def test_improves_over_time(self):
+        run_short = run_controller(
+            HeuristicController(), default_chain(), ConstantRateGenerator.line_rate(),
+            intervals=3, rng=0,
+        )
+        run_long = run_controller(
+            HeuristicController(), default_chain(), ConstantRateGenerator.line_rate(),
+            intervals=50, rng=0,
+        )
+        assert run_long.mean_throughput_gbps > run_short.mean_throughput_gbps
+
+
+class TestEEPstate:
+    def test_capacity_plan_scales_with_load(self):
+        ctrl = EEPstateController()
+        low_share, low_freq = ctrl.plan_capacity(1e4)
+        high_share, high_freq = ctrl.plan_capacity(5e5)
+        assert low_share * low_freq < high_share * high_freq
+
+    def test_low_load_prefers_low_frequency(self):
+        ctrl = EEPstateController()
+        share, freq = ctrl.plan_capacity(1e4)
+        assert freq == pytest.approx(1.2)
+        assert share == 0.5
+
+    def test_saturates_at_max(self):
+        ctrl = EEPstateController()
+        share, freq = ctrl.plan_capacity(1e9)
+        assert share == ctrl.max_share
+        assert freq == 2.1
+
+    def test_decide_uses_des_prediction(self):
+        ctrl = EEPstateController()
+        ctrl.reset()
+        k = ctrl.initial_knobs()
+        for rate in [1e4, 1e4, 1e4]:
+            k = ctrl.decide(telemetry(arrival=rate), FlowAnalyzer(), k)
+        low_capacity = k.cpu_share * k.cpu_freq_ghz
+        for rate in [8e5, 8e5, 8e5]:
+            k = ctrl.decide(telemetry(arrival=rate), FlowAnalyzer(), k)
+        assert k.cpu_share * k.cpu_freq_ghz > low_capacity
+
+    def test_leaves_other_knobs_at_default(self):
+        ctrl = EEPstateController()
+        k = ctrl.decide(telemetry(), FlowAnalyzer(), ctrl.initial_knobs())
+        d = KnobSettings()
+        assert k.llc_fraction == d.llc_fraction
+        assert k.batch_size == d.batch_size
+        assert k.dma_mb == d.dma_mb
+
+    def test_no_cat(self):
+        assert not EEPstateController().cat_enabled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EEPstateController(headroom=0.5)
+        with pytest.raises(ValueError):
+            EEPstateController(cycles_per_packet_est=0)
+
+    def test_adapts_to_bursty_traffic(self):
+        gen = MMPPGenerator(5e4, 8e5, p_low_to_high=0.3, p_high_to_low=0.3)
+        run = run_controller(
+            EEPstateController(), default_chain(), gen, intervals=40, rng=5
+        )
+        shares = [
+            s.cpu_cores_busy for s in run.samples
+        ]
+        assert max(shares) > min(shares)  # it actually moved capacity
+
+
+class TestOrderings:
+    """The Fig. 9 qualitative orderings among the rule-based controllers."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        chain = default_chain()
+        out = {}
+        for ctrl in (StaticBaseline(), HeuristicController(), EEPstateController()):
+            out[ctrl.name] = run_controller(
+                ctrl, chain, ConstantRateGenerator.line_rate(), intervals=50, rng=2
+            )
+        return out
+
+    def test_heuristics_beats_baseline_throughput(self, runs):
+        assert (
+            runs["Heuristics"].mean_throughput_gbps
+            > 1.5 * runs["Baseline"].mean_throughput_gbps
+        )
+
+    def test_ee_pstate_beats_baseline_throughput(self, runs):
+        assert (
+            runs["EE-Pstate"].mean_throughput_gbps
+            > runs["Baseline"].mean_throughput_gbps
+        )
+
+    def test_tuning_controllers_save_energy(self, runs):
+        assert runs["Heuristics"].total_energy_j < runs["Baseline"].total_energy_j
+        assert runs["EE-Pstate"].total_energy_j < runs["Baseline"].total_energy_j
+
+    def test_run_controller_validation(self):
+        with pytest.raises(ValueError):
+            run_controller(
+                StaticBaseline(), default_chain(), ConstantRateGenerator(1.0),
+                intervals=0,
+            )

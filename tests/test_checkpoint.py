@@ -1,0 +1,91 @@
+"""Policy checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.rl.checkpoint import FORMAT_VERSION, load_agent, save_agent
+from repro.rl.ddpg import DDPGAgent, DDPGConfig
+
+
+class TestRoundtrip:
+    def test_policy_identical_after_reload(self, tmp_path):
+        agent = DDPGAgent(4, 5, DDPGConfig(hidden=(16, 16)), rng=0)
+        agent.updates_done = 123
+        path = save_agent(agent, tmp_path / "policy")
+        assert path.suffix == ".npz"
+        loaded = load_agent(path)
+        s = np.random.default_rng(0).normal(size=4)
+        assert np.allclose(
+            agent.act(s, explore=False), loaded.act(s, explore=False)
+        )
+        assert loaded.updates_done == 123
+
+    def test_all_four_networks_restored(self, tmp_path):
+        agent = DDPGAgent(3, 2, DDPGConfig(hidden=(8,)), rng=1)
+        path = save_agent(agent, tmp_path / "p.npz")
+        loaded = load_agent(path)
+        orig = agent.get_all_params()
+        rest = loaded.get_all_params()
+        for net in ("actor", "critic", "target_actor", "target_critic"):
+            for a, b in zip(orig[net], rest[net]):
+                assert np.array_equal(a, b)
+
+    def test_config_restored(self, tmp_path):
+        cfg = DDPGConfig(hidden=(24, 12), gamma=0.5, tau=0.03, noise_type="gaussian")
+        agent = DDPGAgent(4, 5, cfg, rng=0)
+        loaded = load_agent(save_agent(agent, tmp_path / "c"))
+        assert loaded.config.hidden == (24, 12)
+        assert loaded.config.gamma == 0.5
+        assert loaded.config.tau == 0.03
+        assert loaded.config.noise_type == "gaussian"
+
+    def test_loaded_agent_can_keep_training(self, tmp_path):
+        from repro.rl.replay import Transition, TransitionBatch
+
+        agent = DDPGAgent(3, 2, DDPGConfig(hidden=(8,), batch_size=4), rng=0)
+        loaded = load_agent(save_agent(agent, tmp_path / "t"))
+        rng = np.random.default_rng(0)
+        batch = TransitionBatch(
+            states=rng.normal(size=(4, 3)),
+            actions=rng.uniform(-1, 1, (4, 2)),
+            rewards=rng.normal(size=4),
+            next_states=rng.normal(size=(4, 3)),
+            dones=np.zeros(4),
+            indices=np.arange(4),
+            weights=np.ones(4),
+        )
+        metrics = loaded.update(batch)
+        assert np.isfinite(metrics.critic_loss)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_agent(tmp_path / "nope.npz")
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(ValueError, match="not a GreenNFV checkpoint"):
+            load_agent(path)
+
+    def test_version_check(self, tmp_path):
+        import json
+
+        agent = DDPGAgent(3, 2, DDPGConfig(hidden=(8,)), rng=0)
+        path = save_agent(agent, tmp_path / "v")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["__meta__"].tobytes()).decode())
+        meta["format_version"] = FORMAT_VERSION + 1
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_agent(path)
+
+    def test_creates_parent_dirs(self, tmp_path):
+        agent = DDPGAgent(3, 2, DDPGConfig(hidden=(8,)), rng=0)
+        path = save_agent(agent, tmp_path / "deep" / "nested" / "p")
+        assert path.exists()

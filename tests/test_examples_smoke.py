@@ -1,0 +1,60 @@
+"""Smoke tests: every example must run end-to-end.
+
+Examples are user-facing documentation; a broken one is a broken promise.
+Each runs in-process with its ``main()`` (faster than subprocesses and
+failures point at real lines).  The heavy ones are trimmed via their
+module constants where possible; all complete in seconds.
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        module = importlib.import_module(name)
+        module.main()
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+        sys.modules.pop(name, None)
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        run_example("quickstart")
+        out = capsys.readouterr().out
+        assert "Converged" in out
+        assert "Online recommendation" in out
+
+    def test_custom_chain(self, capsys):
+        run_example("custom_chain")
+        out = capsys.readouterr().out
+        assert "tunnel_gw" in out
+        assert "Best batch" in out
+
+    def test_power_calibration(self, capsys):
+        import re
+
+        run_example("power_calibration")
+        out = capsys.readouterr().out
+        match = re.search(r"fitted h = ([0-9.]+)", out)
+        assert match is not None
+        assert abs(float(match.group(1)) - 1.4) < 0.05
+
+    def test_sdn_flow_steering(self, capsys):
+        run_example("sdn_flow_steering")
+        out = capsys.readouterr().out
+        assert "overload-relief" in out
+        assert "migrations" in out
+
+    @pytest.mark.slow
+    def test_distributed_training(self, capsys):
+        run_example("distributed_training")
+        out = capsys.readouterr().out
+        assert "Ape-X final" in out

@@ -1,0 +1,200 @@
+"""LLC / CAT / DDIO / miss-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.cache import (
+    CacheAllocator,
+    LlcSpec,
+    capacity_miss_ratio,
+    contention_factor,
+    contiguous_mask,
+    ddio_hit_ratio,
+    is_contiguous,
+    mask_ways,
+    prefetch_efficiency,
+)
+from repro.utils.units import mb_to_bytes
+
+
+class TestLlcSpec:
+    def test_testbed_geometry(self):
+        spec = LlcSpec()
+        assert spec.n_ways == 20
+        assert spec.ddio_ways == 2  # 10% of 20 ways, the Broadwell reserve
+        assert spec.allocatable_ways == 18
+        assert spec.way_bytes == pytest.approx(1e6)
+
+    def test_ddio_bytes(self):
+        assert LlcSpec().ddio_bytes == pytest.approx(2e6)
+
+    def test_zero_ddio(self):
+        spec = LlcSpec(ddio_fraction=0.0)
+        assert spec.ddio_ways == 0
+        assert spec.allocatable_ways == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LlcSpec(size_bytes=0)
+        with pytest.raises(ValueError):
+            LlcSpec(ddio_fraction=1.0)
+        with pytest.raises(ValueError):
+            LlcSpec(miss_penalty_cycles=10.0, hit_cycles=40.0)
+
+
+class TestMasks:
+    def test_contiguous_mask(self):
+        assert contiguous_mask(0, 4) == 0b1111
+        assert contiguous_mask(2, 3) == 0b11100
+
+    def test_mask_ways(self):
+        assert mask_ways(0b1111) == 4
+        assert mask_ways(0b1010) == 2
+
+    def test_is_contiguous(self):
+        assert is_contiguous(0b1110)
+        assert not is_contiguous(0b1010)
+        assert not is_contiguous(0)
+
+    def test_mask_validation(self):
+        with pytest.raises(ValueError):
+            contiguous_mask(0, 0)
+        with pytest.raises(ValueError):
+            contiguous_mask(-1, 2)
+
+
+class TestCacheAllocator:
+    def test_disjoint_contiguous_grants(self):
+        alloc = CacheAllocator()
+        clos = alloc.allocate({"c1": 0.5, "c2": 0.25})
+        masks = [c.mask for c in clos.values()]
+        assert all(is_contiguous(m) for m in masks)
+        assert masks[0] & masks[1] == 0  # disjoint
+
+    def test_grants_avoid_ddio_ways(self):
+        alloc = CacheAllocator()
+        clos = alloc.allocate({"c1": 0.9})
+        ddio_mask = contiguous_mask(0, alloc.spec.ddio_ways)
+        assert clos["c1"].mask & ddio_mask == 0
+
+    def test_fraction_to_ways_minimum_one(self):
+        alloc = CacheAllocator()
+        assert alloc.ways_for_fraction(0.001) == 1
+
+    def test_fraction_bounds(self):
+        alloc = CacheAllocator()
+        with pytest.raises(ValueError):
+            alloc.ways_for_fraction(1.5)
+
+    def test_oversubscription_raises(self):
+        alloc = CacheAllocator()
+        with pytest.raises(ValueError):
+            alloc.allocate({"a": 0.9, "b": 0.9})
+
+    def test_allocated_bytes(self):
+        alloc = CacheAllocator()
+        alloc.allocate({"c1": 0.5})
+        assert alloc.allocated_bytes("c1") == pytest.approx(9e6)
+        assert alloc.allocated_fraction("c1") == pytest.approx(0.5)
+
+    def test_unknown_chain(self):
+        alloc = CacheAllocator()
+        alloc.allocate({"c1": 0.5})
+        with pytest.raises(KeyError):
+            alloc.allocated_bytes("nope")
+
+    def test_empty_shares(self):
+        with pytest.raises(ValueError):
+            CacheAllocator().allocate({})
+
+
+class TestMissModel:
+    def test_fits_hits_floor(self):
+        assert capacity_miss_ratio(1e6, 2e6) == pytest.approx(0.02)
+
+    def test_zero_capacity_always_misses(self):
+        assert capacity_miss_ratio(1e6, 0.0) == 1.0
+
+    def test_zero_ws_is_floor(self):
+        assert capacity_miss_ratio(0.0, 1e6) == pytest.approx(0.02)
+
+    def test_monotone_in_working_set(self):
+        cap = 4e6
+        misses = [capacity_miss_ratio(ws, cap) for ws in np.linspace(1e6, 40e6, 30)]
+        assert all(b >= a - 1e-12 for a, b in zip(misses, misses[1:]))
+
+    def test_monotone_in_capacity(self):
+        ws = 10e6
+        misses = [capacity_miss_ratio(ws, c) for c in np.linspace(1e5, 20e6, 30)]
+        assert all(b <= a + 1e-12 for a, b in zip(misses, misses[1:]))
+
+    def test_bounds(self):
+        for ws in [0.0, 1e5, 1e8]:
+            for cap in [0.0, 1e6, 1e9]:
+                if ws == 0 and cap == 0:
+                    continue
+                m = capacity_miss_ratio(ws, cap)
+                assert 0.0 <= m <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            capacity_miss_ratio(-1, 1)
+        with pytest.raises(ValueError):
+            capacity_miss_ratio(1, 1, floor=2.0)
+
+
+class TestDdioHitRatio:
+    def test_small_ring_stays_resident(self):
+        assert ddio_hit_ratio(mb_to_bytes(1), 2e6, 9e6) == 1.0
+
+    def test_huge_ring_spills(self):
+        h = ddio_hit_ratio(mb_to_bytes(40), 2e6, 4e6)
+        assert 0.0 < h < 0.2
+
+    def test_monotone_in_ring_size(self):
+        hs = [
+            ddio_hit_ratio(mb_to_bytes(x), 2e6, 4e6) for x in np.linspace(0.5, 40, 25)
+        ]
+        assert all(b <= a + 1e-12 for a, b in zip(hs, hs[1:]))
+
+    def test_zero_buffer(self):
+        assert ddio_hit_ratio(0.0, 2e6, 4e6) == 1.0
+
+    def test_zero_effective_capacity(self):
+        assert ddio_hit_ratio(1e6, 0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ddio_hit_ratio(-1.0, 2e6, 4e6)
+
+
+class TestPrefetchEfficiency:
+    def test_batch_one_hides_nothing(self):
+        assert prefetch_efficiency(1) == pytest.approx(0.0)
+
+    def test_monotone_saturating(self):
+        effs = [prefetch_efficiency(b) for b in [1, 8, 32, 128, 256, 1024]]
+        assert all(b >= a for a, b in zip(effs, effs[1:]))
+        assert effs[-1] < 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prefetch_efficiency(0)
+        with pytest.raises(ValueError):
+            prefetch_efficiency(10, max_efficiency=1.0)
+        with pytest.raises(ValueError):
+            prefetch_efficiency(10, ramp_batch=0)
+
+
+class TestContention:
+    def test_no_penalty_under_capacity(self):
+        assert contention_factor(10e6, 20e6) == 1.0
+
+    def test_penalty_grows_with_oversubscription(self):
+        a = contention_factor(30e6, 20e6)
+        b = contention_factor(60e6, 20e6)
+        assert 1.0 < a < b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            contention_factor(1e6, 0.0)

@@ -1,0 +1,117 @@
+"""DMA buffer and NIC model tests."""
+
+import numpy as np
+import pytest
+
+from repro.hw.dma import DmaBufferModel, DmaSpec
+from repro.hw.nic import Nic, NicSpec
+from repro.utils.units import mb_to_bytes
+
+
+class TestDmaSpec:
+    def test_defaults_valid(self):
+        spec = DmaSpec()
+        assert spec.min_bytes < spec.max_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DmaSpec(min_bytes=0)
+        with pytest.raises(ValueError):
+            DmaSpec(drain_latency_s=0)
+        with pytest.raises(ValueError):
+            DmaSpec(burstiness=0.5)
+
+
+class TestDmaBufferModel:
+    def test_clamp(self):
+        m = DmaBufferModel()
+        assert m.clamp(0.0) == m.spec.min_bytes
+        assert m.clamp(1e12) == m.spec.max_bytes
+
+    def test_capacity_scales_with_buffer(self):
+        m = DmaBufferModel()
+        small = m.ring_capacity_packets(mb_to_bytes(1), 1518)
+        big = m.ring_capacity_packets(mb_to_bytes(10), 1518)
+        assert big > small * 5
+
+    def test_small_packets_fit_more(self):
+        m = DmaBufferModel()
+        assert m.ring_capacity_packets(mb_to_bytes(4), 64) > m.ring_capacity_packets(
+            mb_to_bytes(4), 1518
+        )
+
+    def test_delivery_ratio_one_when_underloaded(self):
+        m = DmaBufferModel()
+        assert m.delivery_ratio(mb_to_bytes(40), 1518, 1e3) == 1.0
+
+    def test_delivery_ratio_drops_when_overloaded(self):
+        m = DmaBufferModel()
+        r = m.delivery_ratio(mb_to_bytes(0.5), 1518, 5e6)
+        assert 0.0 < r < 0.2
+
+    def test_delivery_monotone_in_buffer(self):
+        m = DmaBufferModel()
+        rates = [
+            m.delivery_ratio(mb_to_bytes(x), 1518, 8e5) for x in np.linspace(0.5, 40, 20)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_zero_arrival(self):
+        m = DmaBufferModel()
+        assert m.delivery_ratio(mb_to_bytes(1), 1518, 0.0) == 1.0
+
+    def test_access_cycles_rise_on_spill(self):
+        m = DmaBufferModel()
+        resident = m.access_cycles_per_packet(mb_to_bytes(2), 1518, 9e6)
+        spilled = m.access_cycles_per_packet(mb_to_bytes(40), 1518, 2e6)
+        assert spilled > resident * 2
+
+    def test_validation(self):
+        m = DmaBufferModel()
+        with pytest.raises(ValueError):
+            m.ring_capacity_packets(mb_to_bytes(1), 0)
+        with pytest.raises(ValueError):
+            m.delivery_ratio(mb_to_bytes(1), 1518, -1.0)
+
+
+class TestNic:
+    def test_line_rate_caps_admission(self):
+        nic = Nic()
+        cap = nic.spec.max_pps(1518)
+        admitted = nic.admit(0, cap * 2, 1518, 1.0)
+        assert admitted == pytest.approx(cap)
+        assert nic.ports[0].rx_dropped == pytest.approx(cap)
+
+    def test_underload_admits_all(self):
+        nic = Nic()
+        assert nic.admit(0, 1e3, 1518, 1.0) == 1e3
+        assert nic.ports[0].rx_dropped == 0.0
+
+    def test_counters_accumulate(self):
+        nic = Nic()
+        nic.admit(0, 1e3, 64, 2.0)
+        assert nic.ports[0].rx_packets == pytest.approx(2e3)
+        assert nic.ports[0].rx_bytes == pytest.approx(2e3 * 64)
+
+    def test_transmit_caps(self):
+        nic = Nic()
+        cap = nic.spec.max_pps(64)
+        assert nic.transmit(1, cap * 3, 64, 1.0) == pytest.approx(cap)
+
+    def test_port_bounds(self):
+        nic = Nic()
+        with pytest.raises(ValueError):
+            nic.admit(5, 1.0, 64, 1.0)
+        with pytest.raises(ValueError):
+            nic.transmit(-1, 1.0, 64, 1.0)
+
+    def test_throughput_conversion(self):
+        nic = Nic()
+        cap = nic.spec.max_pps(1518)
+        assert nic.throughput_gbps(cap, 1518) == pytest.approx(10.0, rel=1e-6)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            NicSpec(line_rate_gbps=0)
+        with pytest.raises(ValueError):
+            NicSpec(ports=0)

@@ -1,0 +1,179 @@
+"""Per-NF action space tests (the full Eq. 7 granularity)."""
+
+import numpy as np
+import pytest
+
+from repro.core.knobs import KnobSpace
+from repro.core.per_nf_env import PerNFEnv
+from repro.core.sla import EnergyEfficiencySLA, MaxThroughputSLA
+from repro.experiments.common import DEFAULT_SCALE
+from repro.nfv.chain import default_chain
+from repro.nfv.knobs import KnobSettings
+from repro.nfv.per_nf import PerNFEngine, PerNFKnobVector
+from repro.utils.units import line_rate_pps
+
+CHAIN = default_chain()
+LINE = line_rate_pps(10.0, 1518)
+
+
+def uniform_knobs(**kw) -> list[KnobSettings]:
+    return [KnobSettings(**kw) for _ in CHAIN]
+
+
+class TestPerNFEngine:
+    def test_matches_chain_level_for_uniform_knobs_shape(self):
+        eng = PerNFEngine()
+        knobs = uniform_knobs(cpu_share=1.0, cpu_freq_ghz=2.0, llc_fraction=0.3,
+                              dma_mb=12, batch_size=128)
+        s = eng.step_per_nf(CHAIN, knobs, LINE, 1518, 1.0)
+        assert 0 < s.achieved_pps <= LINE
+        assert len(s.per_nf) == len(CHAIN)
+        assert 0 <= s.cpu_utilization <= 1
+
+    def test_llc_normalization_on_oversubscription(self):
+        eng = PerNFEngine()
+        knobs = uniform_knobs(llc_fraction=0.9)  # 3 x 0.9 > 1
+        allocs = eng.per_nf_llc_bytes(CHAIN, knobs)
+        allocatable = eng.server.llc.way_bytes * eng.server.llc.allocatable_ways
+        assert sum(allocs) <= allocatable * (1 + 1e-9)
+        assert allocs[0] == pytest.approx(allocs[1])
+
+    def test_llc_kept_when_fits(self):
+        eng = PerNFEngine()
+        knobs = uniform_knobs(llc_fraction=0.2)
+        allocs = eng.per_nf_llc_bytes(CHAIN, knobs)
+        allocatable = eng.server.llc.way_bytes * eng.server.llc.allocatable_ways
+        assert allocs[0] == pytest.approx(0.2 * allocatable)
+
+    def test_knob_count_validation(self):
+        eng = PerNFEngine()
+        with pytest.raises(ValueError):
+            eng.step_per_nf(CHAIN, [KnobSettings()], LINE, 1518, 1.0)
+
+    def test_bottleneck_is_the_starved_nf(self):
+        # Give the heavy IDS (index 2) almost nothing: it must bind.
+        eng = PerNFEngine()
+        knobs = [
+            KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.2, dma_mb=12, batch_size=128),
+            KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.2, dma_mb=12, batch_size=128),
+            KnobSettings(cpu_share=0.1, cpu_freq_ghz=1.2, llc_fraction=0.2, dma_mb=12, batch_size=128),
+        ]
+        s = eng.step_per_nf(CHAIN, knobs, LINE, 1518, 1.0)
+        rates = [t.service_rate_pps for t in s.per_nf]
+        assert int(np.argmin(rates)) == 2
+        assert s.achieved_pps <= rates[2] + 1e-6
+
+    def test_targeted_allocation_beats_uniform_at_equal_cores(self):
+        # Same total core budget: giving the IDS the cores the NAT/router
+        # don't need must outperform the even split (the point of per-NF
+        # granularity on heterogeneous chains).
+        eng = PerNFEngine()
+        even = uniform_knobs(cpu_share=1.0, cpu_freq_ghz=2.1, llc_fraction=0.3,
+                             dma_mb=12, batch_size=192)
+        targeted = [
+            even[0].with_updates(cpu_share=0.6),
+            even[1].with_updates(cpu_share=0.9),
+            even[2].with_updates(cpu_share=1.5),
+        ]
+        s_even = eng.step_per_nf(CHAIN, even, LINE, 1518, 1.0)
+        s_tgt = eng.step_per_nf(CHAIN, targeted, LINE, 1518, 1.0)
+        assert sum(k.cpu_share for k in targeted) == pytest.approx(3.0)
+        assert s_tgt.achieved_pps > 1.2 * s_even.achieved_pps
+
+    def test_per_nf_frequency_mix(self):
+        # Low frequency on light NFs, high on the heavy one: throughput is
+        # set by the heavy NF while energy stays below all-max.
+        eng = PerNFEngine()
+        all_max = uniform_knobs(cpu_share=1.0, cpu_freq_ghz=2.1, llc_fraction=0.3,
+                                dma_mb=12, batch_size=192)
+        mixed = [
+            all_max[0].with_updates(cpu_freq_ghz=1.2),
+            all_max[1].with_updates(cpu_freq_ghz=1.2),
+            all_max[2],
+        ]
+        s_max = eng.step_per_nf(CHAIN, all_max, LINE, 1518, 1.0)
+        s_mix = eng.step_per_nf(CHAIN, mixed, LINE, 1518, 1.0)
+        assert s_mix.achieved_pps == pytest.approx(s_max.achieved_pps, rel=0.05)
+        assert s_mix.energy_j < s_max.energy_j
+
+    def test_energy_consistency(self):
+        eng = PerNFEngine()
+        knobs = uniform_knobs()
+        s = eng.step_per_nf(CHAIN, knobs, LINE, 1518, 4.0)
+        assert s.energy_j == pytest.approx(s.power_w * 4.0)
+
+    def test_input_validation(self):
+        eng = PerNFEngine()
+        with pytest.raises(ValueError):
+            eng.step_per_nf(CHAIN, uniform_knobs(), -1.0, 1518, 1.0)
+
+
+class TestPerNFKnobVector:
+    def test_dim(self):
+        assert PerNFKnobVector(3).dim == 15
+
+    def test_split_join_roundtrip(self):
+        vec = PerNFKnobVector(3)
+        space = KnobSpace()
+        rng = np.random.default_rng(0)
+        a = rng.uniform(-0.8, 0.8, 15)
+        knobs = vec.split(a, space)
+        a2 = vec.join(knobs, space)
+        assert np.allclose(a[:4], a2[:4], atol=1e-6)
+        assert len(knobs) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerNFKnobVector(0)
+        vec = PerNFKnobVector(2)
+        with pytest.raises(ValueError):
+            vec.split(np.zeros(5), KnobSpace())
+        with pytest.raises(ValueError):
+            vec.join([KnobSettings()], KnobSpace())
+
+
+class TestPerNFEnv:
+    def test_action_dim(self):
+        env = PerNFEnv(EnergyEfficiencySLA(), episode_len=4, rng=0)
+        assert env.action_dim == 15
+        assert env.state_dim == 4
+
+    def test_episode_runs(self):
+        env = PerNFEnv(EnergyEfficiencySLA(), episode_len=3, rng=0)
+        obs = env.reset()
+        assert obs.shape == (4,)
+        for i in range(3):
+            r = env.step(np.zeros(15))
+        assert r.done
+        assert "per_nf_knobs" in r.info
+        assert len(r.info["per_nf_knobs"]) == 3
+        assert r.info["bottleneck_nf"] in {nf.name for nf in env.chain}
+
+    def test_step_before_reset(self):
+        env = PerNFEnv(EnergyEfficiencySLA(), episode_len=3, rng=0)
+        with pytest.raises(RuntimeError):
+            env.step(np.zeros(15))
+
+    def test_ddpg_learns_on_per_nf_space(self):
+        from repro.core.training import train_ddpg
+        from repro.rl.ddpg import DDPGConfig
+
+        def env(rng):
+            return PerNFEnv(
+                DEFAULT_SCALE.max_throughput_sla(), episode_len=8, rng=rng
+            )
+
+        _, history = train_ddpg(
+            env(1),
+            env(2),
+            episodes=25,
+            test_every=25,
+            ddpg_config=DDPGConfig(hidden=(48, 48), batch_size=32),
+            warmup_transitions=64,
+            rng=5,
+        )
+        assert history.final.throughput_gbps > 1.3 * history.records[0].throughput_gbps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerNFEnv(EnergyEfficiencySLA(), episode_len=0)

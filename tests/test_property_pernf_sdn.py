@@ -1,0 +1,101 @@
+"""Property tests on the per-NF engine and an SDN integration scenario."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nfv import KnobSettings, Node, default_chain
+from repro.nfv.per_nf import PerNFEngine
+from repro.sdn import ChainReplica, FlowSpec, SdnConfig, SdnController
+from repro.traffic.generators import DiurnalGenerator
+from repro.utils.units import line_rate_pps
+
+ENGINE = PerNFEngine()
+CHAIN = default_chain()
+
+knob_strategy = st.builds(
+    KnobSettings,
+    cpu_share=st.floats(min_value=0.1, max_value=1.5),
+    cpu_freq_ghz=st.floats(min_value=1.2, max_value=2.1),
+    llc_fraction=st.floats(min_value=0.05, max_value=1.0),
+    dma_mb=st.floats(min_value=0.5, max_value=40.0),
+    batch_size=st.integers(min_value=1, max_value=256),
+)
+knob_triplet = st.tuples(knob_strategy, knob_strategy, knob_strategy)
+
+
+class TestPerNFEngineProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(knob_triplet, st.floats(min_value=0.0, max_value=2e6))
+    def test_step_invariants(self, knobs, offered):
+        knobs = list(knobs)
+        s = ENGINE.step_per_nf(CHAIN, knobs, offered, 1518.0, 1.0)
+        nic_cap = ENGINE.server.nic.max_pps(1518.0)
+        assert 0.0 <= s.achieved_pps <= min(offered, nic_cap) + 1e-6
+        assert 0.0 <= s.cpu_utilization <= 1.0
+        assert s.power_w > 0.0
+        assert np.isfinite(s.latency_s)
+        assert len(s.per_nf) == 3
+
+    @settings(deadline=None, max_examples=30)
+    @given(knob_triplet)
+    def test_llc_allocation_never_oversubscribes(self, knobs):
+        allocs = ENGINE.per_nf_llc_bytes(CHAIN, list(knobs))
+        allocatable = ENGINE.server.llc.way_bytes * ENGINE.server.llc.allocatable_ways
+        assert all(a > 0 for a in allocs)
+        assert sum(allocs) <= allocatable * (1 + 1e-9)
+
+    @settings(deadline=None, max_examples=20)
+    @given(knob_triplet)
+    def test_chain_rate_bounded_by_slowest_stage(self, knobs):
+        knobs = list(knobs)
+        s = ENGINE.step_per_nf(CHAIN, knobs, 2e6, 1518.0, 1.0)
+        slowest = min(t.service_rate_pps for t in s.per_nf)
+        assert s.achieved_pps <= slowest + 1e-6
+
+
+class TestSdnUnderDiurnalLoad:
+    """Integration: the steering loop must track a day/night load cycle."""
+
+    def test_relief_then_consolidation_over_a_cycle(self):
+        line = line_rate_pps(10.0, 1518)
+        sdn = SdnController(
+            SdnConfig(max_migrations_per_interval=1, flow_cooldown_intervals=2),
+            rng=3,
+        )
+        for i in range(2):
+            node = Node()
+            chain = default_chain(f"sfc{i}")
+            node.deploy(
+                chain,
+                KnobSettings(cpu_share=1.0, batch_size=128, dma_mb=12, llc_fraction=0.45),
+            )
+            sdn.register_replica(
+                ChainReplica(chain_name=f"sfc{i}", node=node, service="sfc")
+            )
+        # Four flows riding one compressed day/night cycle.
+        for j in range(4):
+            sdn.add_flow(
+                FlowSpec(
+                    f"f{j}",
+                    DiurnalGenerator(
+                        0.3 * line, trough_fraction=0.05, period_s=40, noise_std=0.0
+                    ),
+                    service="sfc",
+                ),
+                chain_name="sfc0",
+            )
+        spread_seen = False
+        total_energy = 0.0
+        for _ in range(60):
+            samples = sdn.run_interval()
+            total_energy += sum(s.energy_j for s in samples.values())
+            loads = [len(sdn.table.flows_on(f"sfc{i}")) for i in range(2)]
+            if min(loads) >= 1:
+                spread_seen = True
+        assert spread_seen, "peak load must trigger relief onto the second replica"
+        assert sdn.table.migrations >= 2
+        assert total_energy > 0
+        # Steering invariant: every flow always has exactly one rule.
+        assert sorted(sdn.table.rules) == [f"f{j}" for j in range(4)]

@@ -1,0 +1,85 @@
+"""Deterministic RNG stream tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import StreamFactory, as_generator, hash_name, spawn
+
+
+class TestAsGenerator:
+    def test_from_int(self):
+        g = as_generator(42)
+        assert isinstance(g, np.random.Generator)
+
+    def test_from_none(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_same_seed_same_stream(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        assert np.array_equal(a, b)
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        kids = spawn(3, 2)
+        a, b = kids[0].random(100), kids[1].random(100)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic(self):
+        a = spawn(3, 2)[0].random(10)
+        b = spawn(3, 2)[0].random(10)
+        assert np.array_equal(a, b)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_spawn_from_generator(self):
+        g = np.random.default_rng(5)
+        kids = spawn(g, 3)
+        assert len(kids) == 3
+
+
+class TestStreamFactory:
+    def test_same_name_same_stream_object(self):
+        f = StreamFactory(0)
+        assert f.stream("traffic") is f.stream("traffic")
+
+    def test_different_names_different_streams(self):
+        f = StreamFactory(0)
+        a = f.stream("a").random(50)
+        b = f.stream("b").random(50)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        f1 = StreamFactory(9)
+        f1.stream("x")
+        x_then_y = f1.stream("y").random(10)
+        f2 = StreamFactory(9)
+        y_first = f2.stream("y").random(10)
+        assert np.array_equal(x_then_y, y_first)
+
+    def test_reproducible_across_factories(self):
+        a = StreamFactory(1).stream("noise").random(10)
+        b = StreamFactory(1).stream("noise").random(10)
+        assert np.array_equal(a, b)
+
+    def test_seed_property(self):
+        assert StreamFactory(5).seed == 5
+
+
+class TestHashName:
+    def test_stable_known_value(self):
+        # FNV-1a of 'a' — pinned so cross-run reproducibility is explicit.
+        assert hash_name("a") == 0xAF63DC4C8601EC8C
+
+    def test_distinct(self):
+        assert hash_name("traffic") != hash_name("noise")
+
+    def test_empty_is_offset_basis(self):
+        assert hash_name("") == 0xCBF29CE484222325

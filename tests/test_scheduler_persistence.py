@@ -1,0 +1,61 @@
+"""Scheduler save/load and ablation-harness smoke tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import GreenNFVScheduler
+from repro.core.sla import EnergyEfficiencySLA
+from repro.experiments.ablations import ablation_granularity, ablation_per
+from repro.rl.ddpg import DDPGConfig
+
+FAST = DDPGConfig(hidden=(16, 16), batch_size=16)
+
+
+class TestSchedulerPersistence:
+    def test_save_then_load_reproduces_policy(self, tmp_path):
+        sched = GreenNFVScheduler(
+            sla=EnergyEfficiencySLA(), episode_len=4, seed=3, ddpg_config=FAST
+        )
+        sched.train(episodes=6, test_every=3)
+        path = sched.save_policy(tmp_path / "policy")
+
+        fresh = GreenNFVScheduler(
+            sla=EnergyEfficiencySLA(), episode_len=4, seed=99, ddpg_config=FAST
+        )
+        fresh.load_policy(path)
+        obs = np.asarray([0.5, 0.4, 0.5, 0.8])
+        assert np.allclose(
+            sched.recommend(obs).as_array(), fresh.recommend(obs).as_array()
+        )
+
+    def test_loaded_policy_deploys_online(self, tmp_path):
+        sched = GreenNFVScheduler(
+            sla=EnergyEfficiencySLA(), episode_len=4, seed=3, ddpg_config=FAST
+        )
+        sched.train(episodes=4, test_every=2)
+        path = sched.save_policy(tmp_path / "p")
+        fresh = GreenNFVScheduler(
+            sla=EnergyEfficiencySLA(), episode_len=4, seed=1, ddpg_config=FAST
+        )
+        fresh.load_policy(path)
+        timeline = fresh.run_online(duration_s=5.0)
+        assert len(timeline) == 5
+        assert timeline[-1].throughput_gbps > 0
+
+    def test_save_before_train_raises(self, tmp_path):
+        sched = GreenNFVScheduler(sla=EnergyEfficiencySLA())
+        with pytest.raises(RuntimeError):
+            sched.save_policy(tmp_path / "x")
+
+
+class TestAblationHarnesses:
+    def test_per_ablation_smoke(self):
+        rows, report = ablation_per(episodes=6, test_every=3, seed=1)
+        assert {r.variant for r in rows} == {"prioritized", "uniform"}
+        assert "replay" in report.render()
+
+    def test_granularity_ablation_smoke(self):
+        rows, report = ablation_granularity(episodes=6, test_every=3, seed=1)
+        assert len(rows) == 2
+        assert all(np.isfinite(r.final_reward) for r in rows)
+        assert "granularity" in report.render()

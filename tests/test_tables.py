@@ -1,0 +1,92 @@
+"""ASCII table / report rendering tests."""
+
+import pytest
+
+from repro.utils.tables import ExperimentReport, format_value, render_series, render_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(3.14159, 3) == "3.142"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.5e7)
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_bool_and_str(self):
+        assert format_value(True) == "True"
+        assert format_value("abc") == "abc"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        out = render_table(["name", "value"], [["a", 1.0], ["b", 2.5]])
+        assert "name" in out and "value" in out
+        assert "2.500" in out
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_rows_aligned(self):
+        out = render_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = [l for l in out.splitlines() if l.startswith("|")]
+        assert len({len(l) for l in lines}) == 1  # constant width
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_contains_extremes(self):
+        out = render_series("tp", [0, 1, 2, 3], [1.0, 2.0, 3.0, 4.0])
+        assert "tp" in out
+        assert "4" in out and "1" in out
+
+    def test_empty(self):
+        assert "empty" in render_series("x", [], [])
+
+    def test_constant_series(self):
+        out = render_series("flat", [0, 1], [5.0, 5.0])
+        assert "flat" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series("x", [1, 2], [1.0])
+
+    def test_non_finite_values(self):
+        out = render_series("x", [0, 1, 2], [1.0, float("nan"), 3.0])
+        assert "x" in out
+        assert "no finite" not in out
+        out2 = render_series("y", [0], [float("nan")])
+        assert "no finite" in out2
+
+
+class TestExperimentReport:
+    def test_render_combines_sections(self):
+        rep = ExperimentReport("figX", "a description")
+        rep.add_table(["a"], [[1]])
+        rep.add_series("s", [0, 1], [1.0, 2.0])
+        rep.add_text("footnote")
+        out = rep.render()
+        assert "figX" in out
+        assert "a description" in out
+        assert "footnote" in out
+
+    def test_str_is_render(self):
+        rep = ExperimentReport("id")
+        rep.add_text("body")
+        assert str(rep) == rep.render()

@@ -1,0 +1,65 @@
+"""Unit-conversion tests."""
+
+import math
+
+import pytest
+
+from repro.utils import units
+
+
+class TestBasicConversions:
+    def test_gbps_roundtrip(self):
+        assert units.bps_to_gbps(units.gbps_to_bps(7.5)) == pytest.approx(7.5)
+
+    def test_mpps_roundtrip(self):
+        assert units.pps_to_mpps(units.mpps_to_pps(13.0)) == pytest.approx(13.0)
+
+    def test_mb_roundtrip(self):
+        assert units.bytes_to_mb(units.mb_to_bytes(18.0)) == pytest.approx(18.0)
+
+    def test_gbps_to_bps_scale(self):
+        assert units.gbps_to_bps(1.0) == 1e9
+
+    def test_mb_is_decimal(self):
+        assert units.mb_to_bytes(1.0) == 1e6
+
+
+class TestPacketRateThroughput:
+    def test_line_rate_64b_is_14_88_mpps(self):
+        # The canonical 10 GbE small-packet line rate.
+        pps = units.line_rate_pps(10.0, 64)
+        assert units.pps_to_mpps(pps) == pytest.approx(14.88, rel=1e-3)
+
+    def test_line_rate_1518b(self):
+        pps = units.line_rate_pps(10.0, 1518)
+        assert units.pps_to_mpps(pps) == pytest.approx(0.8127, rel=1e-3)
+
+    def test_pps_gbps_roundtrip(self):
+        pps = 1.5e6
+        gbps = units.pps_to_gbps(pps, 512)
+        assert units.gbps_to_pps(gbps, 512) == pytest.approx(pps)
+
+    def test_wire_overhead_increases_gbps(self):
+        with_wire = units.pps_to_gbps(1e6, 64, wire=True)
+        without = units.pps_to_gbps(1e6, 64, wire=False)
+        assert with_wire > without
+
+    def test_wire_overhead_is_20_bytes(self):
+        delta = units.pps_to_gbps(1e6, 64, wire=True) - units.pps_to_gbps(
+            1e6, 64, wire=False
+        )
+        assert delta == pytest.approx(units.bps_to_gbps(1e6 * 20 * 8))
+
+    def test_larger_packets_carry_more_bits(self):
+        assert units.pps_to_gbps(1e6, 1518) > units.pps_to_gbps(1e6, 64)
+
+
+class TestEnergyPerMPacket:
+    def test_basic(self):
+        assert units.joules_per_mpacket(100.0, 2e6) == pytest.approx(50.0)
+
+    def test_zero_packets_is_inf(self):
+        assert math.isinf(units.joules_per_mpacket(100.0, 0.0))
+
+    def test_negative_packets_is_inf(self):
+        assert math.isinf(units.joules_per_mpacket(100.0, -5.0))
