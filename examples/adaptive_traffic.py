@@ -2,48 +2,51 @@
 """Adaptivity under dynamic traffic: GreenNFV vs. a static configuration.
 
 The paper's motivation for learning over heuristics is that "network
-flows can be highly dynamic".  This example trains an Energy-Efficiency
-policy on bursty MMPP traffic, deploys it next to a statically tuned
-configuration, and shows the learned controller retuning its knobs as
-the load swings — saving energy in the troughs without giving up
-throughput at the peaks.
+flows can be highly dynamic".  This example declares an
+Energy-Efficiency scenario on bursty MMPP traffic — the ``mmpp`` entry
+of the traffic registry, straight from the spec — runs it through the
+scenario facade, and compares the learned controller against a
+statically tuned peak-provisioned configuration: the adaptive policy
+retunes its knobs as the load swings, saving energy in the troughs
+without giving up throughput at the peaks.
 
 Run:  python examples/adaptive_traffic.py
 """
 
 import numpy as np
 
+from repro import ScenarioSpec, run
 from repro.core.env import NFVEnv
-from repro.core.scheduler import GreenNFVScheduler
 from repro.core.sla import EnergyEfficiencySLA, RewardScales
 from repro.nfv.knobs import KnobSettings
 from repro.traffic.generators import MMPPGenerator
 from repro.utils.tables import render_table
 from repro.utils.units import line_rate_pps
 
+LINE_PPS = line_rate_pps(10.0, 1518)
 
-def bursty(rng):
-    """A 2-state MMPP flow swinging between 15% and 90% of line rate."""
-    line = line_rate_pps(10.0, 1518)
-    return MMPPGenerator(0.15 * line, 0.9 * line, p_low_to_high=0.15, p_high_to_low=0.15)
+#: A 2-state MMPP flow swinging between 15% and 90% of line rate.
+BURSTY = dict(
+    low_rate_pps=0.15 * LINE_PPS,
+    high_rate_pps=0.9 * LINE_PPS,
+    p_low_to_high=0.15,
+    p_high_to_low=0.15,
+)
 
 
 def run_static(duration_s: int, seed: int) -> tuple[float, float]:
     """A fixed, peak-provisioned configuration (no adaptation)."""
     env = NFVEnv(
         EnergyEfficiencySLA(RewardScales(energy_j=81.5)),
-        generator=bursty(None),
+        generator=MMPPGenerator(**BURSTY),
         episode_len=duration_s,
         rng=seed,
     )
-    env.reset(
-        knobs=KnobSettings(
-            cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.9, dma_mb=16, batch_size=192
-        )
+    knobs = KnobSettings(
+        cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.9, dma_mb=16, batch_size=192
     )
-    action = env.knob_space.to_action(
-        KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.9, dma_mb=16, batch_size=192)
-    )
+    env.reset(knobs=knobs)
+    action = env.knob_space.to_action(knobs)
     ts, es = [], []
     for _ in range(duration_s):
         r = env.step(action)
@@ -53,19 +56,25 @@ def run_static(duration_s: int, seed: int) -> tuple[float, float]:
 
 
 def main() -> None:
-    print("Training the Energy-Efficiency policy on bursty MMPP traffic...")
-    sched = GreenNFVScheduler(
-        sla=EnergyEfficiencySLA(RewardScales(energy_j=81.5)),
-        generator_factory=bursty,
+    duration = 60
+    spec = ScenarioSpec(
+        name="adaptive-mmpp",
+        sla="energy_efficiency",
+        sla_params={"scales": {"throughput_gbps": 10.0, "energy_j": 81.5}},
+        traffic="mmpp",
+        traffic_params=BURSTY,
+        controller="ddpg",
+        episodes=70,
+        test_every=35,
         episode_len=16,
+        intervals=duration,
         seed=5,
     )
-    sched.train(episodes=70, test_every=35)
 
-    duration = 60
-    timeline = sched.run_online(duration_s=duration)
-    t_adaptive = float(np.mean([s.throughput_gbps for s in timeline]))
-    e_adaptive = float(np.sum([s.energy_j for s in timeline]))
+    print("Training the Energy-Efficiency policy on bursty MMPP traffic...")
+    result = run(spec)
+    t_adaptive = float(np.mean(result.series("throughput_gbps")))
+    e_adaptive = float(np.sum(result.series("energy_j")))
     t_static, e_static = run_static(duration, seed=99)
 
     print()
@@ -82,15 +91,15 @@ def main() -> None:
 
     print("\nKnob trajectory of the adaptive controller (every 10 s):")
     rows = []
-    for s in timeline[::10]:
+    for p in result.timeline[::10]:
         rows.append(
             [
-                f"{s.t_s:.0f}",
-                s.throughput_gbps,
-                s.energy_j,
-                s.knobs.cpu_freq_ghz,
-                s.knobs.cpu_share,
-                s.knobs.batch_size,
+                f"{p['t_s']:.0f}",
+                p["throughput_gbps"],
+                p["energy_j"],
+                p["knobs"]["cpu_freq_ghz"],
+                p["knobs"]["cpu_share"],
+                p["knobs"]["batch_size"],
             ]
         )
     print(

@@ -1,32 +1,48 @@
 #!/usr/bin/env python3
-"""Quickstart: train a GreenNFV policy and ask it for knob settings.
+"""Quickstart: declare a scenario, run it, read the results.
 
-Trains the Maximum-Throughput SLA policy (maximize Gbps under an energy
-cap) on the simulated testbed, prints the training progress the paper's
-Fig. 6 plots, and shows the knob recommendation the trained actor makes
-for the live platform state.
+A GreenNFV run is one declarative :class:`ScenarioSpec` — SLA, chain,
+traffic, controller, budgets, seed — executed through the ``run``
+facade.  This trains the Maximum-Throughput SLA policy (maximize Gbps
+under an energy cap) on the simulated testbed, prints the training
+progress the paper's Fig. 6 plots, and shows the knob settings the
+trained actor chooses online.  The same spec serialized with
+``spec.save("quickstart.json")`` runs identically via
+``python -m repro run quickstart.json``.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import GreenNFVScheduler, MaxThroughputSLA, RewardScales
+from repro import ScenarioSpec, run
 from repro.utils.tables import render_table
 
 
 def main() -> None:
     # The SLA: maximize throughput while spending at most 45 J per 1 s
     # control interval (~55% of the untuned baseline's power draw).
-    sla = MaxThroughputSLA(
-        energy_cap_j=45.0, scales=RewardScales(throughput_gbps=10.0, energy_j=81.5)
+    spec = ScenarioSpec(
+        name="quickstart",
+        sla="max_throughput",
+        sla_params={
+            "energy_cap_j": 45.0,
+            "scales": {"throughput_gbps": 10.0, "energy_j": 81.5},
+        },
+        controller="ddpg",
+        episodes=60,
+        test_every=10,
+        episode_len=16,
+        intervals=10,
+        seed=7,
     )
-    sched = GreenNFVScheduler(sla=sla, episode_len=16, seed=7)
 
     print("Training the DDPG policy (60 episodes)...")
-    history = sched.train(episodes=60, test_every=10)
+    result = run(spec)
 
+    records = result.training["records"]
     rows = [
-        [r.episode, r.throughput_gbps, r.energy_j, r.cpu_freq_ghz, r.batch_size]
-        for r in history.records
+        [r["episode"], r["throughput_gbps"], r["energy_j"], r["cpu_freq_ghz"],
+         r["batch_size"]]
+        for r in records
     ]
     print(
         render_table(
@@ -36,25 +52,26 @@ def main() -> None:
         )
     )
 
-    final = history.final
+    final = records[-1]
     print(
-        f"\nConverged: {final.throughput_gbps:.2f} Gbps at "
-        f"{final.energy_j / 16:.1f} J per interval "
-        f"(SLA satisfied {final.sla_satisfied_frac:.0%} of test intervals)."
+        f"\nConverged: {final['throughput_gbps']:.2f} Gbps at "
+        f"{final['energy_j'] / spec.episode_len:.1f} J per interval "
+        f"(SLA satisfied {final['sla_satisfied_frac']:.0%} of test intervals)."
     )
 
-    # Deploy: collect live state from the platform, ask the actor network.
-    timeline = sched.run_online(duration_s=10.0)
-    last = timeline[-1]
-    k = last.knobs
+    # Deploy: the online timeline is part of the structured result.
+    last = result.timeline[-1]
+    k = last["knobs"]
     print("\nOnline recommendation for the current platform state:")
     print(
-        f"  cpu_share={k.cpu_share:.2f} cores/NF, freq={k.cpu_freq_ghz:.2f} GHz, "
-        f"LLC={k.llc_fraction:.0%}, DMA={k.dma_mb:.1f} MB, batch={k.batch_size}"
+        f"  cpu_share={k['cpu_share']:.2f} cores/NF, "
+        f"freq={k['cpu_freq_ghz']:.2f} GHz, LLC={k['llc_fraction']:.0%}, "
+        f"DMA={k['dma_mb']:.1f} MB, batch={k['batch_size']}"
     )
     print(
-        f"  -> {last.throughput_gbps:.2f} Gbps at {last.energy_j:.1f} J/interval, "
-        f"SLA {'OK' if last.sla_satisfied else 'VIOLATED'}"
+        f"  -> {last['throughput_gbps']:.2f} Gbps at "
+        f"{last['energy_j']:.1f} J/interval, "
+        f"SLA {'OK' if last['sla_satisfied'] else 'VIOLATED'}"
     )
 
 

@@ -1,31 +1,51 @@
 #!/usr/bin/env python3
 """SLA comparison: which contract should a telco offer for this chain?
 
-Trains all three GreenNFV SLA policies on the same 3-NF chain and
-compares them against the untuned Baseline and the rule-based
-controllers — a small-scale rendition of the paper's Fig. 9 that a TSP
-would run when deciding what to promise a customer.
+Builds the paper's Fig. 9 line-up — Baseline, Heuristics, EE-Pstate,
+Q-Learning and the three GreenNFV SLA policies — as declarative
+scenario specs and executes them with the parallel ``SweepRunner``,
+one worker process per controller.  A TSP deciding what to promise a
+customer runs exactly this: one workload, many controllers/SLAs, one
+comparable result table (plus a JSON artifact per scenario if
+``out_dir`` is set).
 
 Run:  python examples/sla_comparison.py
 """
 
-from repro.experiments import fig9_comparison
+from repro import SweepRunner
+from repro.experiments.comparison import comparison_specs
+from repro.utils.tables import render_table
 
 
 def main() -> None:
-    print("Running the seven-way comparison (this trains four policies)...")
-    result, report = fig9_comparison(
+    specs = comparison_specs(
         intervals=30, train_episodes=60, qlearning_episodes=120, seed=11
     )
-    print()
-    print(report.render())
+    print(
+        f"Running the {len(specs)}-way comparison as a parallel sweep "
+        "(this trains four policies)..."
+    )
+    runner = SweepRunner(specs, processes=4)
+    results = runner.run()
 
-    base = result.baseline
+    print()
+    print(
+        render_table(
+            ["scenario", "controller", "T (Gbps)", "E (J)", "T/E (Gbps/kJ)", "SLA"],
+            runner.summary_rows(),
+            title="Fig. 9 — performance comparison of the models",
+        )
+    )
+
+    base = next(r for r in results if r.spec.name == "Baseline")
     print("\nHeadline multiples vs. the untuned Baseline:")
-    for entry in result.entries[1:]:
-        t_ratio, e_ratio = entry.relative_to(base)
+    for r in results:
+        if r.spec.name == "Baseline":
+            continue
+        t_ratio = r.mean_throughput_gbps / base.mean_throughput_gbps
+        e_ratio = r.total_energy_j / base.total_energy_j
         print(
-            f"  {entry.name:16s} {t_ratio:4.1f}x throughput at "
+            f"  {r.spec.name:16s} {t_ratio:4.1f}x throughput at "
             f"{1 - e_ratio:4.0%} less energy"
         )
     print(

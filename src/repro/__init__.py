@@ -9,7 +9,22 @@ traffic generation, and a from-scratch numpy RL stack (DDPG, prioritized
 replay, Ape-X distributed learning, tabular Q-learning) plus the paper's
 Heuristics and EE-Pstate baselines.
 
-Quickstart::
+Quickstart — declarative (specs are JSON-round-trippable and sweepable)::
+
+    from repro import ScenarioSpec, run
+
+    spec = ScenarioSpec(
+        name="demo",
+        sla="max_throughput",
+        sla_params={"energy_cap_j": 45.0},
+        controller="ddpg",
+        episodes=60,
+        seed=7,
+    )
+    result = run(spec)
+    print(result.mean_throughput_gbps, result.total_energy_j)
+
+or imperative, through the scheduler the facade is built on::
 
     from repro import GreenNFVScheduler, MaxThroughputSLA
 
@@ -28,8 +43,16 @@ from repro.core import (
     sla_from_name,
 )
 from repro.nfv import KnobSettings, ServiceChain, default_chain
+from repro.scenario import (
+    RunResult,
+    ScenarioSpec,
+    SweepRunner,
+    expand_grid,
+    run,
+    run_sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "EnergyEfficiencySLA",
@@ -42,5 +65,11 @@ __all__ = [
     "KnobSettings",
     "ServiceChain",
     "default_chain",
+    "RunResult",
+    "ScenarioSpec",
+    "SweepRunner",
+    "expand_grid",
+    "run",
+    "run_sweep",
     "__version__",
 ]

@@ -1,89 +1,143 @@
-"""Command-line entry point: run any registered experiment.
+"""Command-line entry point: scenario runs, sweeps, and figure harnesses.
 
-Usage::
+Subcommands::
 
-    python -m repro list                      # available experiments
-    python -m repro fig2                      # run one figure's harness
-    python -m repro fig9 --quick              # reduced training budgets
-    python -m repro fig6 --out results.txt    # also write the report
+    python -m repro run <spec.json | preset>   # one declarative scenario
+    python -m repro sweep <specs.json | preset> --jobs 4 --out-dir results
+    python -m repro fig <id> [--quick]         # a paper-figure harness
+    python -m repro list                       # everything runnable
 
-Experiment ids are the paper's figure numbers (fig1..fig4, fig6..fig11)
-plus the ablations (ablation-per, ablation-apex, ablation-knobs).
+Figure ids are the paper's figures (fig1..fig4, fig6..fig11) plus the
+ablations (ablation-per, ablation-apex, ...).  For backward
+compatibility the figure id may be given without the ``fig`` subcommand:
+``python -m repro fig9 --quick`` still works.
+
+Scenario specs are JSON files (see ``repro.scenario.ScenarioSpec``) or
+named presets (``greennfv-maxt``, ``baseline``, ...); sweeps take a JSON
+file holding a list of spec objects or a sweep preset (``comparison``,
+``rules``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
-from repro.experiments.ablations import (
-    ablation_apex_actors,
-    ablation_discretization,
-    ablation_granularity,
-    ablation_knobs,
-    ablation_per,
+from repro.experiments.registry import EXPERIMENTS, QUICK_BUDGETS
+from repro.scenario import (
+    CHAINS,
+    CONTROLLERS,
+    SCENARIOS,
+    SLAS,
+    SWEEPS,
+    TRAFFIC,
+    ScenarioSpec,
+    SweepRunner,
+    quick_spec,
+    run,
 )
-from repro.experiments.registry import EXPERIMENTS
+from repro.utils.tables import render_table
 
-_EXTRA = {
-    "ablation-per": ablation_per,
-    "ablation-apex": ablation_apex_actors,
-    "ablation-knobs": ablation_knobs,
-    "ablation-granularity": ablation_granularity,
-    "ablation-discretization": ablation_discretization,
-}
-
-#: Reduced-budget keyword overrides for --quick runs, per experiment.
-_QUICK: dict[str, dict] = {
-    "fig6": dict(episodes=20, test_every=5),
-    "fig7": dict(episodes=20, test_every=5),
-    "fig8": dict(episodes=20, test_every=5),
-    "fig9": dict(intervals=16, train_episodes=25, qlearning_episodes=40),
-    "fig10": dict(duration_s=40.0, train_episodes=15),
-    "fig11": dict(train_episodes=20, measure_intervals=16),
-    "ablation-per": dict(episodes=20, test_every=10),
-    "ablation-apex": dict(cycles=10, test_every=5),
-    "ablation-knobs": dict(episodes=15, test_every=15),
-    "ablation-granularity": dict(episodes=20, test_every=10),
-    "ablation-discretization": dict(levels=(2, 3), episodes=40, test_every=20),
-}
+_SUBCOMMANDS = ("run", "sweep", "fig", "list")
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI main; returns a process exit code."""
-    all_experiments = {**EXPERIMENTS, **_EXTRA}
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Run a GreenNFV reproduction experiment and print its report.",
+def _load_spec(source: str) -> ScenarioSpec:
+    """Resolve a spec source: a JSON file path or a scenario preset id."""
+    if source in SCENARIOS:
+        return SCENARIOS.get(source)()
+    path = Path(source)
+    if path.exists():
+        return ScenarioSpec.load(path)
+    raise SystemExit(
+        f"error: {source!r} is neither a spec file nor a scenario preset; "
+        f"presets: {', '.join(SCENARIOS.names())}"
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment id (see 'python -m repro list')",
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="reduced training budgets"
-    )
-    parser.add_argument(
-        "--out", default=None, help="also write the rendered report to this file"
-    )
-    args = parser.parse_args(argv)
 
-    if args.experiment == "list":
-        print("available experiments:")
-        for name in sorted(all_experiments):
-            print(f"  {name}")
-        return 0
 
-    if args.experiment not in all_experiments:
+def _load_sweep(source: str) -> list[ScenarioSpec]:
+    """Resolve a sweep source: a JSON list file or a sweep preset id."""
+    if source in SWEEPS:
+        return SWEEPS.get(source)()
+    path = Path(source)
+    if path.exists():
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, list):
+            raise SystemExit(
+                f"error: {source} must contain a JSON list of scenario specs"
+            )
+        return [ScenarioSpec.from_dict(d) for d in data]
+    raise SystemExit(
+        f"error: {source!r} is neither a specs file nor a sweep preset; "
+        f"presets: {', '.join(SWEEPS.names())}"
+    )
+
+
+def _print_result_summary(result) -> None:
+    """One-run summary table on stdout."""
+    m = result.metrics
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["controller", result.spec.controller],
+                ["SLA", result.spec.sla],
+                ["mean throughput (Gbps)", m["mean_throughput_gbps"]],
+                ["total energy (J)", m["total_energy_j"]],
+                ["mean power (W)", m["mean_power_w"]],
+                ["T/E (Gbps/kJ)", m["energy_efficiency"]],
+                ["SLA satisfied", f"{m['sla_satisfied_frac']:.0%}"],
+                ["wall clock (s)", result.elapsed_s],
+            ],
+            title=f"scenario {result.spec.name!r}",
+        )
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    if args.seed is not None:
+        spec = spec.with_updates(seed=args.seed)
+    if args.quick:
+        spec = quick_spec(spec)
+    result = run(spec, out_path=args.out)
+    _print_result_summary(result)
+    if args.out:
+        print(f"\n(result written to {args.out})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    specs = _load_sweep(args.specs)
+    if args.quick:
+        specs = [quick_spec(s) for s in specs]
+    runner = SweepRunner(specs, out_dir=args.out_dir, processes=args.jobs)
+    results = runner.run()
+    print(
+        render_table(
+            ["scenario", "controller", "T (Gbps)", "E (J)", "T/E (Gbps/kJ)", "SLA"],
+            runner.summary_rows(),
+            title=f"sweep: {len(results)} scenarios",
+        )
+    )
+    if args.out_dir:
+        print(f"\n({len(results)} artifacts written to {args.out_dir}/)")
+    return 0
+
+
+def _cmd_fig(args: argparse.Namespace) -> int:
+    if args.id == "list":  # legacy spelling: `python -m repro list`
+        return _cmd_list(args)
+    if args.id not in EXPERIMENTS:
         print(
-            f"unknown experiment {args.experiment!r}; "
-            f"options: {', '.join(sorted(all_experiments))}",
+            f"unknown experiment {args.id!r}; "
+            f"options: {', '.join(sorted(EXPERIMENTS))}",
             file=sys.stderr,
         )
         return 2
-
-    kwargs = _QUICK.get(args.experiment, {}) if args.quick else {}
-    _, report = all_experiments[args.experiment](**kwargs)
+    kwargs = QUICK_BUDGETS.get(args.id, {}) if args.quick else {}
+    _, report = EXPERIMENTS[args.id](**kwargs)
     text = report.render()
     print(text)
     if args.out:
@@ -91,6 +145,81 @@ def main(argv: list[str] | None = None) -> int:
             fh.write(text + "\n")
         print(f"\n(report written to {args.out})")
     return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("available experiments:")
+    for name in sorted(EXPERIMENTS):
+        print(f"  {name}")
+    print("\nscenario presets (run):")
+    for name in SCENARIOS:
+        print(f"  {name}")
+    print("\nsweep presets (sweep):")
+    for name in SWEEPS:
+        print(f"  {name}")
+    print("\nregistries:")
+    print(f"  controllers: {', '.join(CONTROLLERS.names())}")
+    print(f"  SLAs:        {', '.join(SLAS.names())}")
+    print(f"  chains:      {', '.join(CHAINS.names())}")
+    print(f"  traffic:     {', '.join(TRAFFIC.names())}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The subcommand CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="GreenNFV reproduction: scenario runs, sweeps and figures.",
+    )
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p_run = sub.add_parser("run", help="run one declarative scenario")
+    p_run.add_argument("spec", help="spec JSON file or scenario preset id")
+    p_run.add_argument("--out", default=None, help="write the result JSON here")
+    p_run.add_argument("--seed", type=int, default=None, help="override the seed")
+    p_run.add_argument("--quick", action="store_true", help="reduced budgets")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="run many scenarios in parallel")
+    p_sweep.add_argument("specs", help="JSON list of specs or sweep preset id")
+    p_sweep.add_argument("--jobs", type=int, default=None, help="worker processes")
+    p_sweep.add_argument(
+        "--out-dir", default=None, help="write one JSON artifact per spec here"
+    )
+    p_sweep.add_argument("--quick", action="store_true", help="reduced budgets")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_fig = sub.add_parser("fig", help="run a paper-figure harness")
+    p_fig.add_argument("id", help="experiment id (see 'python -m repro list')")
+    p_fig.add_argument(
+        "--quick", action="store_true", help="reduced training budgets"
+    )
+    p_fig.add_argument(
+        "--out", default=None, help="also write the rendered report to this file"
+    )
+    p_fig.set_defaults(func=_cmd_fig)
+
+    p_list = sub.add_parser("list", help="list experiments, presets, registries")
+    p_list.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI main; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Backward compatibility: `python -m repro fig9 --quick` (a bare
+    # experiment id as the first token) routes to the `fig` subcommand.
+    if argv and argv[0] not in _SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv = ["fig", *argv]
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, TypeError, KeyError, OSError, json.JSONDecodeError) as exc:
+        # Spec validation and lookup errors are user errors, not crashes:
+        # show the message (it lists the valid options), not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

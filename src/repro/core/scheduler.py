@@ -82,14 +82,18 @@ class GreenNFVScheduler:
 
     # -- environments -----------------------------------------------------------
 
-    def make_env(self, stream_name: str) -> NFVEnv:
-        """Build one environment bound to a named RNG stream."""
+    def make_env(self, stream_name: str, *, episode_len: int | None = None) -> NFVEnv:
+        """Build one environment bound to a named RNG stream.
+
+        ``episode_len`` overrides the scheduler's training episode length
+        (deployment rollouts run one episode spanning the whole horizon).
+        """
         rng = self.streams.stream(stream_name)
         return NFVEnv(
             self.sla,
             chain=self.chain,
             generator=self.generator_factory(rng),
-            episode_len=self.episode_len,
+            episode_len=self.episode_len if episode_len is None else episode_len,
             interval_s=self.interval_s,
             knob_space=self.knob_space,
             encoder=self.encoder,
@@ -166,8 +170,10 @@ class GreenNFVScheduler:
             raise RuntimeError("train() must run before run_online()")
         if duration_s <= 0:
             raise ValueError("duration must be positive")
-        env = self.make_env(stream_name)
-        env.episode_len = max(1, int(round(duration_s / self.interval_s)))
+        env = self.make_env(
+            stream_name,
+            episode_len=max(1, int(round(duration_s / self.interval_s))),
+        )
         obs = env.reset(knobs=knobs0)
         out: list[OnlineSample] = []
         t = 0.0

@@ -85,6 +85,27 @@ class ExperimentScale:
             return self.energy_efficiency_sla()
         raise ValueError(f"unknown SLA name {name!r}")
 
+    def sla_spec(self, name: str) -> tuple[str, dict]:
+        """The same SLA as declarative ``(sla, sla_params)`` spec fields.
+
+        Produces exactly what :meth:`sla` builds, but as JSON-ready data
+        for a :class:`~repro.scenario.spec.ScenarioSpec`.
+        """
+        scales = {
+            "throughput_gbps": self.reward_scales.throughput_gbps,
+            "energy_j": self.reward_scales.energy_j,
+        }
+        if name == "max_throughput":
+            return name, {"energy_cap_j": self.maxt_cap_j_per_s, "scales": scales}
+        if name == "min_energy":
+            return name, {
+                "throughput_floor_gbps": self.mine_floor_gbps,
+                "scales": scales,
+            }
+        if name == "energy_efficiency":
+            return name, {"scales": scales}
+        raise ValueError(f"unknown SLA name {name!r}")
+
 
 DEFAULT_SCALE = ExperimentScale()
 

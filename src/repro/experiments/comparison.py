@@ -5,30 +5,21 @@ Q-Learning, GreenNFV(MinE), GreenNFV(MaxT), GreenNFV(EE).  All are
 evaluated on the same workload (line-rate 1518 B traffic, 3-NF chain)
 over the same measurement horizon; the learned entries are trained first
 with their respective protocols.
+
+The line-up is expressed declaratively: :func:`comparison_specs` builds
+one :class:`~repro.scenario.spec.ScenarioSpec` per entry and the harness
+executes them through the uniform ``run(spec)`` facade — the same specs
+are exposed as the ``comparison`` sweep preset for the CLI.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.baselines import (
-    EEPstateController,
-    HeuristicController,
-    StaticBaseline,
-    run_controller,
-)
-from repro.core.env import NFVEnv
-from repro.core.scheduler import GreenNFVScheduler
-from repro.core.training import train_qlearning
-from repro.experiments.common import (
-    DEFAULT_SCALE,
-    ExperimentScale,
-    experiment_chain,
-    experiment_generator,
-)
-from repro.utils.rng import StreamFactory
+from repro.experiments.common import DEFAULT_SCALE, ExperimentScale
+from repro.scenario.runner import RunResult, run
+from repro.scenario.spec import ScenarioSpec
+from repro.utils.rng import hash_name
 from repro.utils.tables import ExperimentReport
 
 
@@ -46,6 +37,16 @@ class ComparisonEntry:
         return (
             self.throughput_gbps / base.throughput_gbps if base.throughput_gbps else 0.0,
             self.energy_j / base.energy_j if base.energy_j else 0.0,
+        )
+
+    @staticmethod
+    def from_result(result: RunResult) -> "ComparisonEntry":
+        """Project a scenario run onto the Fig. 9 bar metrics."""
+        return ComparisonEntry(
+            name=result.spec.name,
+            throughput_gbps=result.mean_throughput_gbps,
+            energy_j=result.total_energy_j,
+            energy_efficiency=result.energy_efficiency,
         )
 
 
@@ -68,23 +69,63 @@ class ComparisonResult:
         return self.entry("Baseline")
 
 
-def _policy_entry(
-    name: str,
-    sched: GreenNFVScheduler,
+def comparison_specs(
     *,
-    intervals: int,
-) -> ComparisonEntry:
-    """Evaluate a trained GreenNFV policy over the measurement window."""
-    samples = sched.run_online(duration_s=intervals * sched.interval_s)
-    ts = np.asarray([s.throughput_gbps for s in samples])
-    es = np.asarray([s.energy_j for s in samples])
-    total_e = float(es.sum())
-    return ComparisonEntry(
-        name=name,
-        throughput_gbps=float(ts.mean()),
-        energy_j=total_e,
-        energy_efficiency=float(ts.mean() / (total_e / 1e3)) if total_e > 0 else 0.0,
+    intervals: int = 40,
+    train_episodes: int = 60,
+    qlearning_episodes: int = 150,
+    seed: int = 11,
+    scale: ExperimentScale = DEFAULT_SCALE,
+) -> list[ScenarioSpec]:
+    """The Fig. 9 line-up as declarative scenario specs (paper order).
+
+    Every spec shares the §5 workload (line-rate 1518 B traffic into the
+    default 3-NF chain) and measurement horizon; controllers and training
+    budgets differ per entry.  Per-entry seeds are derived with the
+    stable FNV name hash — Python's builtin ``hash()`` is salted per
+    process — so sweeps reproduce bit-for-bit.
+    """
+    ee_sla, ee_params = scale.sla_spec("energy_efficiency")
+    maxt_sla, maxt_params = scale.sla_spec("max_throughput")
+    shared = dict(chain="default", traffic="line_rate", episode_len=16,
+                  intervals=intervals, interval_s=1.0)
+    specs = [
+        ScenarioSpec(
+            name=display, controller=controller, sla=ee_sla, sla_params=ee_params,
+            episodes=max(1, train_episodes),
+            test_every=max(1, train_episodes // 3),
+            seed=seed, **shared,
+        )
+        for controller, display in (
+            ("static", "Baseline"),
+            ("heuristic", "Heuristics"),
+            ("ee-pstate", "EE-Pstate"),
+        )
+    ]
+    specs.append(
+        ScenarioSpec(
+            name="Q-Learning", controller="qlearning",
+            sla=maxt_sla, sla_params=maxt_params,
+            episodes=qlearning_episodes,
+            test_every=max(1, qlearning_episodes // 3),
+            seed=seed, **shared,
+        )
     )
+    for sla_name, display in (
+        ("min_energy", "GreenNFV(MinE)"),
+        ("max_throughput", "GreenNFV(MaxT)"),
+        ("energy_efficiency", "GreenNFV(EE)"),
+    ):
+        sla, sla_params = scale.sla_spec(sla_name)
+        specs.append(
+            ScenarioSpec(
+                name=display, controller="ddpg", sla=sla, sla_params=sla_params,
+                episodes=train_episodes,
+                test_every=max(1, train_episodes // 3),
+                seed=seed + hash_name(sla_name) % 1000, **shared,
+            )
+        )
+    return specs
 
 
 def fig9_comparison(
@@ -101,79 +142,16 @@ def fig9_comparison(
     1 s); training budgets are scaled for benchmark runtimes — the
     orderings are stable well below the paper's 8x10^4 episodes.
     """
-    streams = StreamFactory(seed)
-    chain = experiment_chain()
-    result = ComparisonResult()
-
-    # Rule-based controllers.
-    for ctrl in (StaticBaseline(), HeuristicController(), EEPstateController()):
-        run = run_controller(
-            ctrl,
-            chain,
-            experiment_generator(),
-            intervals=intervals,
-            rng=streams.stream(f"ctrl-{ctrl.name}"),
-        )
-        result.entries.append(
-            ComparisonEntry(
-                name=run.name,
-                throughput_gbps=run.mean_throughput_gbps,
-                energy_j=run.total_energy_j,
-                energy_efficiency=run.energy_efficiency,
-            )
-        )
-
-    # Tabular Q-learning (discretized action/state spaces).
-    ql_sla = scale.max_throughput_sla()
-    train_env = NFVEnv(
-        ql_sla, chain=chain, generator=experiment_generator(), episode_len=16,
-        rng=streams.stream("ql-train"),
+    specs = comparison_specs(
+        intervals=intervals,
+        train_episodes=train_episodes,
+        qlearning_episodes=qlearning_episodes,
+        seed=seed,
+        scale=scale,
     )
-    eval_env = NFVEnv(
-        ql_sla, chain=chain, generator=experiment_generator(), episode_len=16,
-        rng=streams.stream("ql-eval"),
+    result = ComparisonResult(
+        entries=[ComparisonEntry.from_result(run(spec)) for spec in specs]
     )
-    ql_agent, _ = train_qlearning(
-        train_env,
-        eval_env,
-        episodes=qlearning_episodes,
-        test_every=max(1, qlearning_episodes // 3),
-        rng=streams.stream("ql-agent"),
-    )
-    ql_env = NFVEnv(
-        ql_sla, chain=chain, generator=experiment_generator(), episode_len=intervals,
-        rng=streams.stream("ql-measure"),
-    )
-    results = ql_env.run_policy_episode(ql_agent, explore=False)
-    ts = np.asarray([r.sample.throughput_gbps for r in results])
-    es = np.asarray([r.sample.energy_j for r in results])
-    result.entries.append(
-        ComparisonEntry(
-            name="Q-Learning",
-            throughput_gbps=float(ts.mean()),
-            energy_j=float(es.sum()),
-            energy_efficiency=float(ts.mean() / (es.sum() / 1e3)),
-        )
-    )
-
-    # GreenNFV under the three SLAs.
-    for sla_name, display in (
-        ("min_energy", "GreenNFV(MinE)"),
-        ("max_throughput", "GreenNFV(MaxT)"),
-        ("energy_efficiency", "GreenNFV(EE)"),
-    ):
-        # Python's builtin hash() is salted per process; use the stable
-        # FNV hash so runs are reproducible.
-        from repro.utils.rng import hash_name
-
-        sched = GreenNFVScheduler(
-            sla=scale.sla(sla_name),
-            chain=chain,
-            episode_len=16,
-            seed=seed + hash_name(sla_name) % 1000,
-        )
-        sched.train(episodes=train_episodes, test_every=max(1, train_episodes // 3))
-        result.entries.append(_policy_entry(display, sched, intervals=intervals))
 
     report = ExperimentReport(
         "fig9",

@@ -1,14 +1,27 @@
-"""Experiment registry: figure id -> runnable harness.
+"""Experiment registry: figure/ablation id -> runnable harness.
 
-Each entry returns ``(result, ExperimentReport)``.  The benchmarks call
-through this registry so EXPERIMENTS.md, the benches and the examples
-all agree on what each figure id means.
+Each entry returns ``(result, ExperimentReport)``.  The CLI, the
+benchmarks and library callers all go through this registry so
+EXPERIMENTS.md, the benches and the examples agree on what each id
+means — including the ablations, which are first-class ids here
+(``run_experiment("ablation-per")`` works like any figure).
+
+``QUICK_BUDGETS`` carries the reduced-budget keyword overrides used by
+``--quick`` CLI runs, kept next to the registry so the CLI and the
+library agree on the experiment set *and* its smoke-scale parameters.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.experiments.ablations import (
+    ablation_apex_actors,
+    ablation_discretization,
+    ablation_granularity,
+    ablation_knobs,
+    ablation_per,
+)
 from repro.experiments.comparison import fig9_comparison
 from repro.experiments.energy_saving import fig11_energy_saving
 from repro.experiments.fixed_sla import fig10_fixed_sla
@@ -35,11 +48,31 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig9": fig9_comparison,
     "fig10": fig10_fixed_sla,
     "fig11": fig11_energy_saving,
+    "ablation-per": ablation_per,
+    "ablation-apex": ablation_apex_actors,
+    "ablation-knobs": ablation_knobs,
+    "ablation-granularity": ablation_granularity,
+    "ablation-discretization": ablation_discretization,
+}
+
+#: Reduced-budget keyword overrides for ``--quick`` runs, per experiment.
+QUICK_BUDGETS: dict[str, dict] = {
+    "fig6": dict(episodes=20, test_every=5),
+    "fig7": dict(episodes=20, test_every=5),
+    "fig8": dict(episodes=20, test_every=5),
+    "fig9": dict(intervals=16, train_episodes=25, qlearning_episodes=40),
+    "fig10": dict(duration_s=40.0, train_episodes=15),
+    "fig11": dict(train_episodes=20, measure_intervals=16),
+    "ablation-per": dict(episodes=20, test_every=10),
+    "ablation-apex": dict(cycles=10, test_every=5),
+    "ablation-knobs": dict(episodes=15, test_every=15),
+    "ablation-granularity": dict(episodes=20, test_every=10),
+    "ablation-discretization": dict(levels=(2, 3), episodes=40, test_every=20),
 }
 
 
 def run_experiment(experiment_id: str, **kwargs):
-    """Run a registered experiment by figure id."""
+    """Run a registered experiment by figure/ablation id."""
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; options: {sorted(EXPERIMENTS)}"

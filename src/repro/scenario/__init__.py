@@ -1,0 +1,66 @@
+"""Declarative scenario API: spec-driven runs over one controller protocol.
+
+This is the public face of the reproduction's comparison machinery::
+
+    from repro.scenario import ScenarioSpec, run
+
+    spec = ScenarioSpec(
+        name="demo",
+        sla="max_throughput",
+        sla_params={"energy_cap_j": 45.0},
+        controller="ddpg",
+        episodes=60,
+        seed=7,
+    )
+    result = run(spec)                     # RunResult: metrics + timeline
+    print(result.mean_throughput_gbps)
+
+Every component is resolved by name through a plugin registry (SLAS,
+CHAINS, TRAFFIC, CONTROLLERS, SCENARIOS, SWEEPS), so specs are plain
+JSON data and third-party extensions register with a decorator.  The
+six built-in controllers — ``ddpg``, ``apex``, ``qlearning``,
+``static``, ``heuristic``, ``ee-pstate`` — all run through the same
+:class:`~repro.scenario.controllers.ScenarioController` protocol.
+
+For batches, :class:`SweepRunner` executes a list or grid of specs
+across worker processes with per-spec seeds and one JSON artifact per
+spec.
+"""
+
+from repro.scenario.catalog import CHAINS, CONTROLLERS, SLAS, TRAFFIC
+from repro.scenario.controllers import (
+    RunContext,
+    ScenarioController,
+    TimelinePoint,
+)
+from repro.scenario.presets import SCENARIOS, SWEEPS, quick_spec
+from repro.scenario.registry import Registry
+from repro.scenario.runner import (
+    RunResult,
+    SweepRunner,
+    build_context,
+    run,
+    run_sweep,
+)
+from repro.scenario.spec import ScenarioSpec, expand_grid
+
+__all__ = [
+    "CHAINS",
+    "CONTROLLERS",
+    "SLAS",
+    "TRAFFIC",
+    "SCENARIOS",
+    "SWEEPS",
+    "Registry",
+    "RunContext",
+    "RunResult",
+    "ScenarioController",
+    "ScenarioSpec",
+    "SweepRunner",
+    "TimelinePoint",
+    "build_context",
+    "expand_grid",
+    "quick_spec",
+    "run",
+    "run_sweep",
+]

@@ -1,0 +1,165 @@
+"""Built-in catalog: the SLA / chain / traffic registries and their entries.
+
+The four registries are the scenario layer's extension points:
+
+* :data:`SLAS` — SLA id -> factory returning a :class:`repro.core.sla.SLA`.
+  Factories accept the SLA's constraint parameters plus an optional
+  ``scales`` dict (``{"throughput_gbps": ..., "energy_j": ...}``) that is
+  converted into :class:`~repro.core.sla.RewardScales`.
+* :data:`CHAINS` — chain preset id -> zero-argument factory returning a
+  :class:`~repro.nfv.chain.ServiceChain`.
+* :data:`TRAFFIC` — traffic model id -> factory returning a
+  :class:`~repro.traffic.generators.TrafficGenerator`.  Factories accept
+  an optional ``sizes`` parameter naming a frame-size distribution
+  (``"large"`` 1518 B, ``"small"`` 64 B, or ``"imix"``).
+* :data:`CONTROLLERS` — controller id -> factory returning a
+  :class:`~repro.scenario.controllers.ScenarioController`.  Populated by
+  :mod:`repro.scenario.controllers`.
+
+All factories are plain callables taking keyword arguments that come
+straight from a spec's ``*_params`` dict, so everything here is reachable
+from JSON.
+"""
+
+from __future__ import annotations
+
+from repro.core.sla import (
+    EnergyEfficiencySLA,
+    LatencySLA,
+    MaxThroughputSLA,
+    MinEnergySLA,
+    RewardScales,
+    SLA,
+)
+from repro.nfv.chain import default_chain, heavy_chain, light_chain
+from repro.scenario.registry import Registry
+from repro.traffic.packet import IMIX, LARGE_PACKETS, SMALL_PACKETS
+from repro.traffic.generators import (
+    ConstantRateGenerator,
+    DiurnalGenerator,
+    MMPPGenerator,
+    PoissonGenerator,
+    TraceReplayGenerator,
+)
+
+SLAS = Registry("SLA")
+CHAINS = Registry("chain preset")
+TRAFFIC = Registry("traffic model")
+CONTROLLERS = Registry("controller")
+
+
+# -- SLAs ---------------------------------------------------------------------
+
+def _scales(params: dict) -> RewardScales | None:
+    """Pop an optional ``scales`` dict and build :class:`RewardScales`."""
+    scales = params.pop("scales", None)
+    if scales is None:
+        return None
+    if isinstance(scales, RewardScales):
+        return scales
+    return RewardScales(**scales)
+
+
+@SLAS.register(MaxThroughputSLA.name)
+def _max_throughput(**params) -> SLA:
+    """Eq. 1: maximize throughput under ``energy_cap_j`` per interval-second."""
+    return MaxThroughputSLA(scales=_scales(params), **params)
+
+
+@SLAS.register(MinEnergySLA.name)
+def _min_energy(**params) -> SLA:
+    """Eq. 2: minimize energy above ``throughput_floor_gbps``."""
+    return MinEnergySLA(scales=_scales(params), **params)
+
+
+@SLAS.register(EnergyEfficiencySLA.name)
+def _energy_efficiency(**params) -> SLA:
+    """Eq. 3: maximize T/E, no hard constraint."""
+    return EnergyEfficiencySLA(_scales(params), **params)
+
+
+@SLAS.register(LatencySLA.name)
+def _latency(**params) -> SLA:
+    """Extension SLA: throughput under a ``latency_bound_s`` delay bound."""
+    return LatencySLA(scales=_scales(params), **params)
+
+
+# -- chain presets -------------------------------------------------------------
+
+CHAINS.add("default", default_chain)
+CHAINS.add("light", light_chain)
+CHAINS.add("heavy", heavy_chain)
+
+
+# -- traffic models ------------------------------------------------------------
+
+_SIZE_DISTRIBUTIONS = {
+    "large": LARGE_PACKETS,
+    "small": SMALL_PACKETS,
+    "imix": IMIX,
+}
+
+
+def _sizes(params: dict, default=LARGE_PACKETS):
+    """Pop an optional ``sizes`` name and resolve the distribution."""
+    name = params.pop("sizes", None)
+    if name is None:
+        return default
+    try:
+        return _SIZE_DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown frame-size distribution {name!r}; "
+            f"options: {sorted(_SIZE_DISTRIBUTIONS)}"
+        ) from None
+
+
+def _no_extras(params: dict) -> None:
+    """After known keys are popped, anything left is a spec typo."""
+    if params:
+        raise TypeError(f"unexpected parameters {sorted(params)}")
+
+
+@TRAFFIC.register("line_rate")
+def _line_rate(line_gbps: float = 10.0, **params):
+    """MoonGen-style constant line-rate stream (the §5 workload)."""
+    sizes = _sizes(params)
+    _no_extras(params)
+    return ConstantRateGenerator.line_rate(line_gbps, sizes)
+
+
+@TRAFFIC.register("constant")
+def _constant(rate_pps: float, **params):
+    """Fixed offered rate in packets/s."""
+    sizes = _sizes(params)
+    _no_extras(params)
+    return ConstantRateGenerator(rate_pps, sizes)
+
+
+@TRAFFIC.register("poisson")
+def _poisson(mean_rate_pps: float, **params):
+    """Poisson arrivals around ``mean_rate_pps``."""
+    sizes = _sizes(params)
+    _no_extras(params)
+    return PoissonGenerator(mean_rate_pps, sizes)
+
+
+@TRAFFIC.register("mmpp")
+def _mmpp(low_rate_pps: float, high_rate_pps: float, **params):
+    """Bursty 2-state Markov-modulated Poisson traffic."""
+    sizes = _sizes(params)
+    return MMPPGenerator(low_rate_pps, high_rate_pps, packet_sizes=sizes, **params)
+
+
+@TRAFFIC.register("diurnal")
+def _diurnal(peak_rate_pps: float, **params):
+    """Sinusoidal day/night load (the Fig. 11 long-horizon workload)."""
+    sizes = _sizes(params)
+    return DiurnalGenerator(peak_rate_pps, packet_sizes=sizes, **params)
+
+
+@TRAFFIC.register("trace")
+def _trace(trace_pps, **params):
+    """Replay an explicit per-interval rate trace."""
+    sizes = _sizes(params)
+    return TraceReplayGenerator(tuple(trace_pps), packet_sizes=sizes, **params)

@@ -1,0 +1,125 @@
+"""Built-in scenario presets: named, ready-to-run specs.
+
+Two registries:
+
+* :data:`SCENARIOS` — preset id -> :class:`ScenarioSpec` builder, one per
+  controller at the paper's §5 evaluation scale.  ``python -m repro run
+  greennfv-maxt`` runs one of these.
+* :data:`SWEEPS` — preset id -> list-of-specs builder for multi-run
+  comparisons; ``comparison`` is the paper's Fig. 9 line-up re-expressed
+  as declarative specs.
+
+Builders defer their imports of :mod:`repro.experiments` so that the
+scenario layer has no import-time dependency on the harnesses built on
+top of it.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.registry import Registry
+from repro.scenario.spec import ScenarioSpec
+
+SCENARIOS = Registry("scenario preset")
+SWEEPS = Registry("sweep preset")
+
+
+def _paper_spec(name: str, controller: str, sla_name: str, **overrides) -> ScenarioSpec:
+    """A spec on the §5 workload (line-rate 1518 B traffic, 3-NF chain)."""
+    from repro.experiments.common import DEFAULT_SCALE
+
+    sla, sla_params = DEFAULT_SCALE.sla_spec(sla_name)
+    base = dict(
+        name=name,
+        sla=sla,
+        sla_params=sla_params,
+        chain="default",
+        traffic="line_rate",
+        controller=controller,
+        episodes=60,
+        test_every=10,
+        episode_len=16,
+        intervals=40,
+        seed=11,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+@SCENARIOS.register("baseline")
+def baseline() -> ScenarioSpec:
+    """The untuned Baseline (performance governor, all defaults)."""
+    return _paper_spec("baseline", "static", "energy_efficiency")
+
+
+@SCENARIOS.register("heuristic")
+def heuristic() -> ScenarioSpec:
+    """Algorithm 1's rule-based controller."""
+    return _paper_spec("heuristic", "heuristic", "energy_efficiency")
+
+
+@SCENARIOS.register("ee-pstate")
+def ee_pstate() -> ScenarioSpec:
+    """The EE-Pstate traffic-aware power manager."""
+    return _paper_spec("ee-pstate", "ee-pstate", "energy_efficiency")
+
+
+@SCENARIOS.register("qlearning")
+def qlearning() -> ScenarioSpec:
+    """Tabular Q-learning under the Maximum-Throughput SLA."""
+    return _paper_spec(
+        "qlearning", "qlearning", "max_throughput", episodes=150, test_every=50
+    )
+
+
+@SCENARIOS.register("greennfv-maxt")
+def greennfv_maxt() -> ScenarioSpec:
+    """GreenNFV DDPG under the Maximum-Throughput SLA (§5.1)."""
+    return _paper_spec("greennfv-maxt", "ddpg", "max_throughput")
+
+
+@SCENARIOS.register("greennfv-mine")
+def greennfv_mine() -> ScenarioSpec:
+    """GreenNFV DDPG under the Minimum-Energy SLA (§5.2)."""
+    return _paper_spec("greennfv-mine", "ddpg", "min_energy")
+
+
+@SCENARIOS.register("greennfv-ee")
+def greennfv_ee() -> ScenarioSpec:
+    """GreenNFV DDPG under the Energy-Efficiency SLA (§5.3)."""
+    return _paper_spec("greennfv-ee", "ddpg", "energy_efficiency")
+
+
+@SCENARIOS.register("greennfv-apex")
+def greennfv_apex() -> ScenarioSpec:
+    """GreenNFV with distributed Ape-X training (Energy-Efficiency SLA)."""
+    return _paper_spec(
+        "greennfv-apex", "apex", "energy_efficiency", episodes=40, test_every=10
+    )
+
+
+@SWEEPS.register("comparison")
+def comparison() -> list[ScenarioSpec]:
+    """The Fig. 9 seven-way line-up as declarative specs."""
+    from repro.experiments.comparison import comparison_specs
+
+    return comparison_specs()
+
+
+@SWEEPS.register("rules")
+def rules() -> list[ScenarioSpec]:
+    """The three rule-based controllers on the shared workload (fast)."""
+    return [
+        _paper_spec("baseline", "static", "energy_efficiency"),
+        _paper_spec("heuristic", "heuristic", "energy_efficiency"),
+        _paper_spec("ee-pstate", "ee-pstate", "energy_efficiency"),
+    ]
+
+
+def quick_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """Shrink a spec's budgets for smoke runs (the CLI's ``--quick``)."""
+    return spec.with_updates(
+        episodes=min(spec.episodes, 8),
+        test_every=min(spec.test_every, 4),
+        episode_len=min(spec.episode_len, 8),
+        intervals=min(spec.intervals, 10),
+    )

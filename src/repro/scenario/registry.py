@@ -1,0 +1,81 @@
+"""String-keyed plugin registries for the declarative scenario layer.
+
+Every extension point of the scenario API — SLAs, controllers, traffic
+generators, chain presets, scenario presets — is a :class:`Registry`: a
+named mapping from a string id to a factory callable.  Registration is
+decorator-based, mirroring how ``experiments.registry.EXPERIMENTS`` maps
+figure ids to harnesses, but open for extension::
+
+    from repro.scenario import TRAFFIC
+
+    @TRAFFIC.register("sawtooth")
+    def sawtooth(peak_pps: float = 1e6, period_s: float = 60.0):
+        return MyTrafficGenerator(peak_pps, period_s)
+
+After that, any :class:`~repro.scenario.spec.ScenarioSpec` may say
+``traffic="sawtooth"`` and ``run(spec)`` resolves it — including specs
+loaded from JSON files, so new plugins are reachable from configuration
+without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+
+class Registry:
+    """A named string -> factory mapping with decorator registration.
+
+    ``kind`` is the human-readable name of the extension point, used in
+    error messages ("unknown SLA 'foo'; options: ...").
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Callable[..., Any]] = {}
+
+    def register(self, name: str) -> Callable[[Callable], Callable]:
+        """Decorator: bind ``name`` to the decorated factory.
+
+        Re-registering an existing name raises — shadowing a built-in
+        silently is how configuration bugs hide.  Use a new id.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} id must be a non-empty string")
+
+        def decorator(obj: Callable) -> Callable:
+            if name in self._entries:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._entries[name] = obj
+            return obj
+
+        return decorator
+
+    def add(self, name: str, obj: Callable) -> None:
+        """Non-decorator registration (same uniqueness rule)."""
+        self.register(name)(obj)
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """Look up a factory; raises ``KeyError`` listing valid options."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; options: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """Sorted registered ids."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {self.names()})"

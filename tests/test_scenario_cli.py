@@ -1,0 +1,139 @@
+"""The subcommand CLI: run / sweep / list / fig (+ legacy figure ids)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.scenario import RunResult, ScenarioSpec
+
+
+def tiny_spec_dict(name: str, controller: str = "static") -> dict:
+    return ScenarioSpec(
+        name=name,
+        controller=controller,
+        episodes=1,
+        test_every=1,
+        episode_len=2,
+        intervals=3,
+        seed=2,
+    ).to_dict()
+
+
+class TestRunCommand:
+    def test_run_spec_file_with_artifact(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec_dict("cli-run")))
+        out_path = tmp_path / "result.json"
+        assert cli_main(["run", str(spec_path), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-run" in out
+        assert "mean throughput" in out
+        result = RunResult.load(out_path)
+        assert result.spec.name == "cli-run"
+
+    def test_run_preset_quick(self, capsys):
+        assert cli_main(["run", "baseline", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "SLA satisfied" in out
+
+    def test_run_seed_override(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec_dict("seeded", "heuristic")))
+        out_path = tmp_path / "r.json"
+        assert cli_main(
+            ["run", str(spec_path), "--seed", "77", "--out", str(out_path)]
+        ) == 0
+        assert RunResult.load(out_path).spec.seed == 77
+
+    def test_run_unknown_source(self):
+        with pytest.raises(SystemExit, match="neither a spec file"):
+            cli_main(["run", "no-such-preset"])
+
+    def test_run_invalid_spec_is_a_clean_error(self, tmp_path, capsys):
+        # Validation failures are user errors: message + exit 2, no
+        # traceback escaping the CLI.
+        bad = dict(tiny_spec_dict("bad"), sla="five_nines")
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(json.dumps(bad))
+        assert cli_main(["run", str(spec_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "unknown SLA" in err
+
+    def test_run_negative_seed_is_a_clean_error(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec_dict("seeded")))
+        assert cli_main(["run", str(spec_path), "--seed", "-3"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_sweep_specs_file_parallel(self, tmp_path, capsys):
+        specs_path = tmp_path / "specs.json"
+        specs_path.write_text(
+            json.dumps(
+                [
+                    tiny_spec_dict("s-a", "static"),
+                    tiny_spec_dict("s-b", "heuristic"),
+                    tiny_spec_dict("s-c", "ee-pstate"),
+                    tiny_spec_dict("s-d", "qlearning"),
+                ]
+            )
+        )
+        out_dir = tmp_path / "artifacts"
+        assert cli_main(
+            ["sweep", str(specs_path), "--jobs", "4", "--out-dir", str(out_dir)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 scenarios" in out
+        assert sorted(p.name for p in out_dir.glob("*.json")) == [
+            "s-a.json", "s-b.json", "s-c.json", "s-d.json",
+        ]
+
+    def test_sweep_unknown_source(self):
+        with pytest.raises(SystemExit, match="neither a specs file"):
+            cli_main(["sweep", "no-such-sweep"])
+
+    def test_sweep_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(tiny_spec_dict("oops")))
+        with pytest.raises(SystemExit, match="JSON list"):
+            cli_main(["sweep", str(path)])
+
+
+class TestListCommand:
+    def test_list_shows_everything(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        # Experiments (including the merged-in ablations)...
+        assert "fig9" in out and "ablation-per" in out
+        # ...plus scenario presets and the registries.
+        assert "greennfv-maxt" in out
+        assert "comparison" in out
+        assert "ee-pstate" in out
+
+
+class TestFigCommand:
+    def test_explicit_fig_subcommand(self, capsys):
+        assert cli_main(["fig", "fig2"]) == 0
+        assert "Fig. 2" in capsys.readouterr().out
+
+    def test_legacy_bare_figure_id(self, capsys):
+        # `python -m repro fig3 --out ...` (no subcommand) must keep working.
+        assert cli_main(["fig3"]) == 0
+        assert "Fig. 3" in capsys.readouterr().out
+
+    def test_unknown_figure_exit_code(self, capsys):
+        assert cli_main(["fig", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_merged_ablations_reachable_via_library(self):
+        # Satellite: the CLI and the library agree on the experiment set.
+        from repro.experiments import EXPERIMENTS, run_experiment
+
+        assert "ablation-per" in EXPERIMENTS
+        rows, report = run_experiment("ablation-per", episodes=4, test_every=2)
+        assert {r.variant for r in rows} == {"prioritized", "uniform"}
+        assert "replay" in report.render()

@@ -1,0 +1,190 @@
+"""ScenarioSpec serialization, validation, and grid expansion."""
+
+import json
+
+import pytest
+
+from repro.scenario import CHAINS, CONTROLLERS, SLAS, TRAFFIC, ScenarioSpec, expand_grid
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        spec = ScenarioSpec(
+            name="rt",
+            sla="max_throughput",
+            sla_params={"energy_cap_j": 45.0, "scales": {"energy_j": 81.5}},
+            traffic="mmpp",
+            traffic_params={"low_rate_pps": 1e5, "high_rate_pps": 9e5},
+            controller="heuristic",
+            controller_params={"batch_step": 2},
+            episodes=12,
+            intervals=7,
+            seed=42,
+        )
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_round_trip(self):
+        spec = ScenarioSpec(name="json-rt", controller="static", seed=3)
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        # The JSON is plain data a user could have written by hand.
+        payload = json.loads(spec.to_json())
+        assert payload["controller"] == "static"
+        assert payload["seed"] == 3
+
+    def test_file_round_trip(self, tmp_path):
+        spec = ScenarioSpec(name="file-rt", controller="ee-pstate", intervals=9)
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_optionals_omitted_from_dict(self):
+        d = ScenarioSpec(name="min").to_dict()
+        assert "nfs" not in d
+        assert "engine_params" not in d
+
+    def test_inline_nfs_round_trip(self):
+        spec = ScenarioSpec(name="inline", nfs=["nat", "firewall"])
+        assert spec.nfs == ("nat", "firewall")  # normalized to tuple
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again.nfs == ("nat", "firewall")
+
+    def test_engine_params_round_trip(self):
+        spec = ScenarioSpec(name="engine", engine_params={"infra_cores": 1.0})
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_specs_are_hashable(self):
+        a = ScenarioSpec(name="h", sla_params={"scales": {"energy_j": 81.5}})
+        b = ScenarioSpec(name="h", sla_params={"scales": {"energy_j": 81.5}})
+        c = a.with_updates(seed=9)
+        assert hash(a) == hash(b)
+        assert {a, b, c} == {a, c}
+
+    def test_with_updates(self):
+        spec = ScenarioSpec(name="base", seed=1)
+        derived = spec.with_updates(seed=2, controller="static")
+        assert derived.seed == 2
+        assert derived.controller == "static"
+        assert spec.seed == 1  # original untouched (frozen)
+
+
+class TestValidation:
+    def test_unknown_sla(self):
+        with pytest.raises(ValueError, match="unknown SLA"):
+            ScenarioSpec(name="x", sla="five-nines")
+
+    def test_unknown_controller(self):
+        with pytest.raises(ValueError, match="unknown controller"):
+            ScenarioSpec(name="x", controller="sarsa")
+
+    def test_unknown_traffic(self):
+        with pytest.raises(ValueError, match="unknown traffic"):
+            ScenarioSpec(name="x", traffic="fractal")
+
+    def test_unknown_chain_preset(self):
+        with pytest.raises(ValueError, match="unknown chain preset"):
+            ScenarioSpec(name="x", chain="chain99")
+
+    def test_unknown_inline_nf(self):
+        with pytest.raises(ValueError, match="unknown NFs"):
+            ScenarioSpec(name="x", nfs=["nat", "quantum_router"])
+
+    def test_empty_inline_nfs(self):
+        with pytest.raises(ValueError, match="must not be empty"):
+            ScenarioSpec(name="x", nfs=[])
+
+    def test_negative_training_budget(self):
+        with pytest.raises(ValueError, match="training budget"):
+            ScenarioSpec(name="x", episodes=-5)
+
+    def test_bad_intervals(self):
+        with pytest.raises(ValueError, match="intervals"):
+            ScenarioSpec(name="x", intervals=0)
+
+    def test_bad_interval_s(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", interval_s=0.0)
+
+    def test_bad_seed(self):
+        with pytest.raises(ValueError, match="seed"):
+            ScenarioSpec(name="x", seed="lucky")
+
+    def test_negative_seed(self):
+        # numpy SeedSequence rejects negatives far downstream with an
+        # obscure error; the spec must catch it at the boundary.
+        with pytest.raises(ValueError, match="non-negative"):
+            ScenarioSpec(name="x", seed=-1)
+
+    def test_empty_name(self):
+        with pytest.raises(ValueError, match="name"):
+            ScenarioSpec(name="")
+
+    def test_from_dict_unknown_field(self):
+        with pytest.raises(ValueError, match="unknown spec fields"):
+            ScenarioSpec.from_dict({"name": "x", "turbo": True})
+
+    def test_from_dict_non_mapping(self):
+        with pytest.raises(ValueError, match="mapping"):
+            ScenarioSpec.from_dict(["not", "a", "dict"])
+
+    def test_with_updates_revalidates(self):
+        spec = ScenarioSpec(name="ok")
+        with pytest.raises(ValueError, match="unknown controller"):
+            spec.with_updates(controller="nope")
+
+
+class TestRegistries:
+    def test_builtin_controllers_registered(self):
+        for name in ("ddpg", "apex", "qlearning", "static", "heuristic", "ee-pstate"):
+            assert name in CONTROLLERS
+
+    def test_builtin_components_registered(self):
+        assert {"max_throughput", "min_energy", "energy_efficiency"} <= set(SLAS.names())
+        assert {"default", "light", "heavy"} <= set(CHAINS.names())
+        assert {"line_rate", "mmpp", "diurnal", "poisson"} <= set(TRAFFIC.names())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            CONTROLLERS.add("static", object)
+
+    def test_unknown_lookup_lists_options(self):
+        with pytest.raises(KeyError, match="options"):
+            CONTROLLERS.get("nope")
+
+
+class TestGrid:
+    def test_cartesian_expansion(self):
+        base = ScenarioSpec(name="grid", seed=10)
+        specs = expand_grid(
+            base,
+            {"controller": ["static", "heuristic"], "intervals": [4, 8]},
+        )
+        assert len(specs) == 4
+        assert len({s.name for s in specs}) == 4
+        assert {(s.controller, s.intervals) for s in specs} == {
+            ("static", 4), ("static", 8), ("heuristic", 4), ("heuristic", 8),
+        }
+
+    def test_per_spec_seeds(self):
+        base = ScenarioSpec(name="grid", seed=100)
+        specs = expand_grid(base, {"controller": ["static", "heuristic"]})
+        assert [s.seed for s in specs] == [100, 101]
+
+    def test_explicit_seed_axis_wins(self):
+        base = ScenarioSpec(name="grid", seed=0)
+        specs = expand_grid(base, {"seed": [7, 8, 9]})
+        assert [s.seed for s in specs] == [7, 8, 9]
+
+    def test_name_axis(self):
+        base = ScenarioSpec(name="g", seed=4)
+        specs = expand_grid(base, {"name": ["alpha", "beta"]})
+        assert [s.name for s in specs] == ["alpha", "beta"]
+        assert [s.seed for s in specs] == [4, 5]
+
+    def test_unknown_axis(self):
+        with pytest.raises(ValueError, match="unknown sweep axes"):
+            expand_grid(ScenarioSpec(name="g"), {"warp": [1]})
+
+    def test_empty_axes(self):
+        with pytest.raises(ValueError, match="at least one"):
+            expand_grid(ScenarioSpec(name="g"), {})

@@ -38,9 +38,30 @@ class TestSchedulerPersistence:
             sla=EnergyEfficiencySLA(), episode_len=4, seed=1, ddpg_config=FAST
         )
         fresh.load_policy(path)
+        # No retraining happened: the fresh scheduler has no history...
+        assert fresh.history is None
+        # ...yet deploys a full, valid timeline straight away.
         timeline = fresh.run_online(duration_s=5.0)
         assert len(timeline) == 5
         assert timeline[-1].throughput_gbps > 0
+        for sample in timeline:
+            assert sample.energy_j > 0
+            assert isinstance(sample.sla_satisfied, bool)
+            assert sample.knobs.batch_size >= 1
+
+    def test_run_online_does_not_disturb_training_episode_len(self, tmp_path):
+        # run_online spans its own horizon via make_env's episode_len
+        # override; the scheduler's configured training length must
+        # survive for later train()/make_env calls.
+        sched = GreenNFVScheduler(
+            sla=EnergyEfficiencySLA(), episode_len=4, seed=3, ddpg_config=FAST
+        )
+        sched.train(episodes=2, test_every=2)
+        timeline = sched.run_online(duration_s=9.0)
+        assert len(timeline) == 9
+        assert sched.episode_len == 4
+        assert sched.make_env("check").episode_len == 4
+        assert sched.make_env("check", episode_len=7).episode_len == 7
 
     def test_save_before_train_raises(self, tmp_path):
         sched = GreenNFVScheduler(sla=EnergyEfficiencySLA())
