@@ -1,0 +1,6 @@
+"""Hot-path micro-benchmark suite (engine, replay, end-to-end training).
+
+Run ``python benchmarks/perf/bench_hotpath.py --quick`` with
+``PYTHONPATH=src``; results land in ``BENCH_hotpath.json`` and the
+committed baseline lives next to this package.
+"""

@@ -1,0 +1,359 @@
+#!/usr/bin/env python
+"""Hot-path performance suite: engine step, batch grid, replay, training.
+
+Times the four inner loops every experiment funnels through and writes
+``BENCH_hotpath.json`` so the performance trajectory is tracked across
+PRs:
+
+* ``engine_step`` — one scalar control-interval evaluation;
+* ``engine_batch_grid`` — a K-knob x L-load grid through ``step_batch``
+  vs. the same grid through scalar ``step`` calls (the vectorization
+  payoff for figure scans / knob searches; criterion: >= 5x);
+* ``replay_add_sample`` — prioritized add/sample/update against the
+  seed's list + per-leaf-walk implementation (kept in ``reference.py``);
+* ``training_slice`` — a short end-to-end DDPG run vs. the same run with
+  seed-style replay and per-episode platform rebuilds (criterion: >= 2x).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_hotpath.py --quick \
+        [--out BENCH_hotpath.json] \
+        [--check-against benchmarks/perf/BENCH_hotpath.json]
+
+``--check-against`` compares wall-clock against a committed baseline and
+exits non-zero on a >2x slowdown (tunable with ``--max-slowdown``) or on
+a missed speedup criterion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+try:  # imported as benchmarks.perf.bench_hotpath
+    from benchmarks.perf import reference
+except ImportError:  # script / file-path invocation
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    import reference
+
+import repro.core.training as training_mod
+import repro.hw.cpu as cpu_mod
+import repro.nfv.knobs as knobs_mod
+import repro.nfv.node as node_mod
+import repro.rl.ddpg as ddpg_mod
+from repro.core.env import NFVEnv
+from repro.core.sla import EnergyEfficiencySLA
+from repro.core.training import train_ddpg
+from repro.nfv.chain import default_chain
+from repro.nfv.engine import PacketEngine
+from repro.nfv.knobs import KnobSettings
+from repro.rl.per import PrioritizedReplayBuffer
+from repro.rl.replay import Transition
+from repro.utils.units import line_rate_pps
+
+FORMAT_VERSION = 1
+
+#: Minimum acceptable in-run speedups (vectorized vs. reference loop).
+CRITERIA = {"engine_batch_grid": 5.0, "training_slice": 2.0}
+
+
+def _best_of(fn, rounds: int) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Time a fixed numpy/Python workload to normalize across machines.
+
+    Absolute bench seconds divided by this number are roughly
+    machine-independent, so the committed baseline can gate slowdowns
+    without flagging a slower (or merely busier) runner.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random(4096)
+    b = rng.random((64, 64))
+
+    def work():
+        acc = 0.0
+        for _ in range(400):
+            acc += float(np.sum(a * a))
+            np.sqrt(a)
+            b @ b
+            [x * 2 for x in range(50)]
+        return acc
+
+    return _best_of(work, rounds)
+
+
+def bench_engine_step(quick: bool, rounds: int) -> dict:
+    """Scalar ``PacketEngine.step`` latency."""
+    n = 500 if quick else 2000
+    engine = PacketEngine()
+    chain = default_chain()
+    knobs = KnobSettings(
+        cpu_share=1.5, cpu_freq_ghz=2.0, llc_fraction=0.9, dma_mb=16, batch_size=160
+    )
+    offered = line_rate_pps(10.0, 1518)
+
+    def run():
+        for _ in range(n):
+            engine.step(chain, knobs, offered, 1518.0, 1.0)
+
+    seconds = _best_of(run, rounds)
+    return {"seconds": seconds, "calls": n, "per_call_us": seconds / n * 1e6}
+
+
+def bench_engine_batch_grid(quick: bool, rounds: int) -> dict:
+    """K x L knob/load grid: ``step_batch`` vs. a loop of ``step`` calls."""
+    K, L = (24, 8) if quick else (48, 24)
+    engine = PacketEngine()
+    chain = default_chain()
+    rng = np.random.default_rng(0)
+    grid = [
+        KnobSettings(
+            cpu_share=float(rng.uniform(0.5, 1.5)),
+            cpu_freq_ghz=float(rng.uniform(1.2, 2.1)),
+            llc_fraction=float(rng.uniform(0.1, 1.0)),
+            dma_mb=float(rng.uniform(1.0, 40.0)),
+            batch_size=int(rng.integers(1, 257)),
+        )
+        for _ in range(K)
+    ]
+    loads = np.linspace(1e5, line_rate_pps(10.0, 1518), L)
+
+    def vectorized():
+        engine.step_batch(chain, grid, loads, 1518.0, 1.0)
+
+    def loop():
+        for k in grid:
+            for ld in loads:
+                engine.step(chain, k, float(ld), 1518.0, 1.0)
+
+    vec_s = _best_of(vectorized, rounds)
+    loop_s = _best_of(loop, max(1, rounds - 1))
+    return {
+        "seconds": vec_s,
+        "grid": [K, L],
+        "loop_seconds": loop_s,
+        "speedup": loop_s / vec_s,
+        "points_per_second": K * L / vec_s,
+    }
+
+
+def _replay_workload(buf, n_add: int, n_rounds: int, rng: np.random.Generator):
+    chunk = 64
+    for start in range(0, n_add, chunk):
+        ts = [
+            Transition(rng.random(8), rng.random(5), float(i), rng.random(8), False)
+            for i in range(start, min(start + chunk, n_add))
+        ]
+        buf.extend(ts, [float(i % 7 + 1) for i in range(len(ts))])
+    for _ in range(n_rounds):
+        batch = buf.sample(64)
+        buf.update_priorities(batch.indices, rng.random(64))
+
+
+def bench_replay(quick: bool, rounds: int) -> dict:
+    """PER add/sample/update: struct-of-arrays vs. the seed list storage."""
+    n_add, n_rounds = (1000, 100) if quick else (4000, 400)
+
+    def new_impl():
+        _replay_workload(
+            PrioritizedReplayBuffer(50_000, rng=0), n_add, n_rounds,
+            np.random.default_rng(1),
+        )
+
+    def ref_impl():
+        _replay_workload(
+            reference.ReferencePrioritizedReplayBuffer(50_000, rng=0), n_add, n_rounds,
+            np.random.default_rng(1),
+        )
+
+    new_s = _best_of(new_impl, rounds)
+    ref_s = _best_of(ref_impl, max(1, rounds - 1))
+    return {"seconds": new_s, "reference_seconds": ref_s, "speedup": ref_s / new_s}
+
+
+def bench_training_slice(quick: bool, rounds: int) -> dict:
+    """Short end-to-end DDPG run vs. seed-style replay + platform rebuilds."""
+    episodes = 12 if quick else 16
+    kwargs = dict(
+        episodes=episodes, test_every=episodes // 2, warmup_transitions=64, rng=3
+    )
+
+    def run_current():
+        sla = EnergyEfficiencySLA()
+        train_ddpg(
+            NFVEnv(sla, episode_len=16, rng=1),
+            NFVEnv(sla, episode_len=16, rng=2),
+            **kwargs,
+        )
+
+    def run_reference():
+        sla = EnergyEfficiencySLA()
+        saved = (
+            training_mod.PrioritizedReplayBuffer,
+            ddpg_mod.Adam,
+            ddpg_mod.MLP,
+            knobs_mod.KnobSettings.clamped,
+            cpu_mod.CpuSpec.clamp_frequency,
+            node_mod.Node._repartition_llc,
+        )
+        training_mod.PrioritizedReplayBuffer = (
+            reference.ReferencePrioritizedReplayBuffer
+        )
+        ddpg_mod.Adam = reference.ReferenceAdam
+        ddpg_mod.MLP = reference.ReferenceMLP
+        knobs_mod.KnobSettings.clamped = reference.reference_clamped
+        cpu_mod.CpuSpec.clamp_frequency = reference.reference_clamp_frequency
+        node_mod.Node._repartition_llc = reference.reference_repartition_llc
+        try:
+            train_ddpg(
+                reference.RebuildingEnv(sla, episode_len=16, rng=1),
+                reference.RebuildingEnv(sla, episode_len=16, rng=2),
+                **kwargs,
+            )
+        finally:
+            (
+                training_mod.PrioritizedReplayBuffer,
+                ddpg_mod.Adam,
+                ddpg_mod.MLP,
+            ) = saved[:3]
+            knobs_mod.KnobSettings.clamped = saved[3]
+            cpu_mod.CpuSpec.clamp_frequency = saved[4]
+            node_mod.Node._repartition_llc = saved[5]
+
+    # Interleave the two variants so background-load drift hits both
+    # sides equally; best-of per side is then a fair ratio.
+    new_s = ref_s = float("inf")
+    for _ in range(max(2, rounds)):
+        t0 = time.perf_counter()
+        run_current()
+        new_s = min(new_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        run_reference()
+        ref_s = min(ref_s, time.perf_counter() - t0)
+    return {
+        "seconds": new_s,
+        "episodes": episodes,
+        "reference_seconds": ref_s,
+        "speedup": ref_s / new_s,
+    }
+
+
+BENCHES = {
+    "engine_step": bench_engine_step,
+    "engine_batch_grid": bench_engine_batch_grid,
+    "replay_add_sample": bench_replay,
+    "training_slice": bench_training_slice,
+}
+
+
+def run_suite(quick: bool = False, rounds: int = 3) -> dict:
+    """Execute every bench; returns the JSON-ready payload."""
+    benches = {}
+    for name, fn in BENCHES.items():
+        benches[name] = fn(quick, rounds)
+        benches[name]["criterion_min_speedup"] = CRITERIA.get(name)
+    return {
+        "format_version": FORMAT_VERSION,
+        "mode": "quick" if quick else "full",
+        "numpy": np.__version__,
+        "calibration_seconds": calibrate(),
+        "benches": benches,
+    }
+
+
+#: Shared CI runners are noisy; a measured speedup may undershoot its
+#: criterion by this factor before the check fails.
+CRITERION_TOLERANCE = 0.85
+
+
+def check_against(result: dict, baseline: dict, max_slowdown: float) -> list[str]:
+    """Regression messages vs. a committed baseline (empty = pass).
+
+    Wall-clock comparisons are normalized by each run's
+    ``calibration_seconds`` so a slower or busier machine does not read
+    as a code regression.
+    """
+    problems = []
+    calib_new = result.get("calibration_seconds") or 1.0
+    calib_base = baseline.get("calibration_seconds") or calib_new
+    for name, bench in result["benches"].items():
+        criterion = bench.get("criterion_min_speedup")
+        speedup = bench.get("speedup")
+        if (
+            criterion is not None
+            and speedup is not None
+            and speedup < CRITERION_TOLERANCE * criterion
+        ):
+            problems.append(
+                f"{name}: speedup {speedup:.2f}x below the {criterion:.0f}x criterion"
+            )
+        base = baseline.get("benches", {}).get(name)
+        if base is None:
+            continue
+        if result.get("mode") != baseline.get("mode"):
+            # Wall-clock comparisons only make sense between equal
+            # workloads; criteria above still apply.
+            continue
+        norm_new = bench["seconds"] / calib_new
+        norm_base = base["seconds"] / calib_base
+        if norm_new > max_slowdown * norm_base:
+            problems.append(
+                f"{name}: {bench['seconds']:.4f}s (normalized {norm_new:.1f}) is "
+                f">{max_slowdown:.1f}x the baseline {base['seconds']:.4f}s "
+                f"(normalized {norm_base:.1f})"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="reduced workloads")
+    parser.add_argument("--rounds", type=int, default=3, help="best-of rounds")
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json", help="result JSON path"
+    )
+    parser.add_argument(
+        "--check-against", default=None, help="baseline JSON to compare with"
+    )
+    parser.add_argument(
+        "--max-slowdown", type=float, default=2.0,
+        help="fail when a bench is this many times slower than the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_suite(quick=args.quick, rounds=args.rounds)
+    for name, bench in result["benches"].items():
+        extra = ""
+        if bench.get("speedup") is not None:
+            extra = f"  speedup={bench['speedup']:.1f}x"
+        print(f"{name:20s} {bench['seconds']:.4f}s{extra}")
+
+    out = Path(args.out)
+    out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+    if args.check_against:
+        baseline = json.loads(Path(args.check_against).read_text())
+        problems = check_against(result, baseline, args.max_slowdown)
+        if problems:
+            for p in problems:
+                print(f"PERF REGRESSION: {p}", file=sys.stderr)
+            return 1
+        print("within baseline envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

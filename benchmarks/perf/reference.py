@@ -1,0 +1,402 @@
+"""Scalar/loop reference implementations for speedup measurement.
+
+These reproduce the pre-vectorization shape of the hot paths — a Python
+loop per NF in the engine, one tree walk per leaf in the replay stack,
+a rebuilt platform per episode — so the benchmark can report honest
+in-run speedups (vectorized vs. loop) on the same machine and workload.
+They are measurement fixtures, not production code.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.env import NFVEnv
+from repro.hw.cache import capacity_miss_ratio, prefetch_efficiency
+from repro.nfv.engine import PacketEngine
+from repro.rl.replay import Transition, TransitionBatch
+from repro.utils.rng import RngLike, as_generator
+
+
+# -- engine: per-NF Python loop ------------------------------------------------
+
+
+def reference_chain_step(
+    engine: PacketEngine,
+    chain,
+    knobs,
+    offered_pps: float,
+    packet_bytes: float,
+) -> float:
+    """Achieved rate via the scalar per-NF loop (the seed implementation)."""
+    llc = engine.server.llc
+    p = engine.params
+    llc_bytes = knobs.llc_fraction * llc.way_bytes * llc.allocatable_ways
+    eff_llc, contention = engine.effective_llc_bytes(llc_bytes)
+
+    pf = prefetch_efficiency(knobs.batch_size)
+    pen_eff = llc.miss_penalty_cycles * (1.0 - pf)
+    hit_eff = llc.hit_cycles * (1.0 - pf)
+    ws = chain.total_state_bytes + knobs.batch_size * packet_bytes
+    base_miss = capacity_miss_ratio(ws, eff_llc, locality=p.cache_locality)
+    p_miss = float(min(1.0, base_miss * contention))
+
+    cpps = []
+    for i, nf in enumerate(chain.nfs):
+        state_cycles = nf.state_lines_touched * p_miss * pen_eff
+        touched = nf.touched_lines(packet_bytes, llc.line_bytes)
+        if i == 0:
+            p_hit = engine.dma_model.llc_spill_hit_ratio(knobs.dma_bytes, eff_llc)
+            p_hit = float(max(0.0, p_hit * (1.0 - p_miss * 0.5)))
+        else:
+            p_hit = 1.0 - p_miss
+        payload = touched * p.mem_factor * (p_hit * hit_eff + (1.0 - p_hit) * pen_eff)
+        cold = p.cold_lines_per_batch * pen_eff / knobs.batch_size
+        overhead = p.ring_call_cycles / knobs.batch_size + p.mbuf_cycles / math.sqrt(
+            knobs.batch_size
+        )
+        cycles = nf.cycles_for_packet(packet_bytes) + overhead + state_cycles
+        cycles += payload + cold
+        if i > 0:
+            cycles += p.inter_nf_handoff_cycles
+        cpps.append(cycles)
+
+    freq_hz = knobs.cpu_freq_ghz * 1e9
+    rates = [knobs.cpu_share * freq_hz / c for c in cpps]
+    nic_cap = engine.server.nic.max_pps(packet_bytes)
+    admitted = min(offered_pps, nic_cap)
+    delivery = engine.dma_model.delivery_ratio(knobs.dma_bytes, packet_bytes, admitted)
+    return min(admitted * delivery, min(rates))
+
+
+# -- nn: per-parameter-array networks and optimizer loops ----------------------
+
+
+class _RefDenseLayer:
+    """Seed dense layer: independently-allocated weight/bias arrays."""
+
+    def __init__(self, weights, bias, activation):
+        self.weights = weights
+        self.bias = bias
+        self.activation = activation
+
+    @property
+    def in_dim(self):
+        return self.weights.shape[0]
+
+    @property
+    def out_dim(self):
+        return self.weights.shape[1]
+
+
+class ReferenceMLP:
+    """The seed MLP: per-layer arrays, temporaries in forward/backward."""
+
+    def __init__(self, layer_sizes, activations=None, *, rng=None, final_init_scale=3e-3):
+        n_layers = len(layer_sizes) - 1
+        if activations is None:
+            activations = ["relu"] * (n_layers - 1) + ["linear"]
+        gen = as_generator(rng)
+        self.layers = []
+        for i in range(n_layers):
+            fan_in, fan_out = layer_sizes[i], layer_sizes[i + 1]
+            bound = final_init_scale if i == n_layers - 1 else 1.0 / np.sqrt(fan_in)
+            w = gen.uniform(-bound, bound, size=(fan_in, fan_out))
+            b = gen.uniform(-bound, bound, size=(fan_out,))
+            self.layers.append(_RefDenseLayer(w, b, activations[i]))
+        self._cache = None
+
+    @property
+    def in_dim(self):
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self):
+        return self.layers[-1].out_dim
+
+    def forward(self, x, *, cache=True):
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        cache_list = []
+        a = x
+        for layer in self.layers:
+            z = a @ layer.weights + layer.bias
+            if layer.activation == "relu":
+                out = np.maximum(z, 0.0)
+            elif layer.activation == "tanh":
+                out = np.tanh(z)
+            else:
+                out = z
+            cache_list.append((a, z, out))
+            a = out
+        self._cache = cache_list if cache else None
+        return a
+
+    def __call__(self, x):
+        return self.forward(x)
+
+    def backward(self, grad_out):
+        grad = np.atleast_2d(np.asarray(grad_out, dtype=np.float64))
+        param_grads = [None] * len(self.layers)
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            a_in, z, a_out = self._cache[i]
+            if layer.activation == "relu":
+                act_grad = (z > 0.0).astype(z.dtype)
+            elif layer.activation == "tanh":
+                act_grad = 1.0 - a_out * a_out
+            else:
+                act_grad = np.ones_like(z)
+            dz = grad * act_grad
+            dw = a_in.T @ dz
+            db = dz.sum(axis=0)
+            grad = dz @ layer.weights.T
+            param_grads[i] = (dw, db)
+        return param_grads, grad
+
+    def input_gradient(self, x, grad_out=None):
+        out = self.forward(x, cache=True)
+        if grad_out is None:
+            grad_out = np.ones_like(out)
+        _, gin = self.backward(grad_out)
+        return gin
+
+    def get_params(self):
+        out = []
+        for layer in self.layers:
+            out.append(layer.weights)
+            out.append(layer.bias)
+        return out
+
+    def set_params(self, params):
+        for i, layer in enumerate(self.layers):
+            layer.weights = params[2 * i].copy()
+            layer.bias = params[2 * i + 1].copy()
+
+    def copy_params(self):
+        return [p.copy() for p in self.get_params()]
+
+    def soft_update_from(self, source, tau):
+        for mine, theirs in zip(self.get_params(), source.get_params()):
+            mine *= 1.0 - tau
+            mine += tau * theirs
+
+    def clone(self):
+        sizes = [self.in_dim] + [layer.out_dim for layer in self.layers]
+        acts = [layer.activation for layer in self.layers]
+        out = ReferenceMLP(sizes, acts, rng=0)
+        out.set_params(self.copy_params())
+        return out
+
+
+class ReferenceAdam:
+    """The seed Adam: a Python loop over per-layer parameter arrays."""
+
+    def __init__(self, net, lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8, *, grad_clip=10.0):
+        self.net = net
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.grad_clip = grad_clip
+        self._m = [np.zeros_like(p) for p in net.get_params()]
+        self._v = [np.zeros_like(p) for p in net.get_params()]
+        self._t = 0
+
+    def step(self, param_grads) -> None:
+        flat = []
+        for dw, db in param_grads:
+            flat.append(dw)
+            flat.append(db)
+        params = self.net.get_params()
+        if self.grad_clip is not None:
+            norm = np.sqrt(sum(float(np.sum(g * g)) for g in flat))
+            if norm > self.grad_clip:
+                scale = self.grad_clip / (norm + 1e-12)
+                flat = [g * scale for g in flat]
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, flat, self._m, self._v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+# -- replay: list storage + per-leaf tree walks --------------------------------
+
+
+class ReferenceSumTree:
+    """The seed sum tree: one Python walk per set / per sampled mass."""
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._nodes = np.zeros(2 * self.capacity - 1, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        return float(self._nodes[0])
+
+    def set(self, slot: int, priority: float) -> None:
+        idx = slot + self.capacity - 1
+        delta = priority - self._nodes[idx]
+        self._nodes[idx] = priority
+        while idx > 0:
+            idx = (idx - 1) // 2
+            self._nodes[idx] += delta
+
+    def get(self, slot: int) -> float:
+        return float(self._nodes[slot + self.capacity - 1])
+
+    def find_prefix(self, mass: float) -> int:
+        mass = float(np.clip(mass, 0.0, np.nextafter(self.total, 0.0)))
+        idx = 0
+        while idx < self.capacity - 1:
+            left = 2 * idx + 1
+            if mass < self._nodes[left] or self._nodes[2 * idx + 2] == 0.0:
+                idx = left
+            else:
+                mass -= self._nodes[left]
+                idx = left + 1
+        return idx - (self.capacity - 1)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        bounds = np.linspace(0.0, self.total, n + 1)
+        out = np.empty(n, dtype=np.int64)
+        for i in range(n):
+            out[i] = self.find_prefix(rng.uniform(bounds[i], bounds[i + 1]))
+        return out
+
+
+class ReferencePrioritizedReplayBuffer:
+    """The seed PER buffer: list-of-Transition storage, np.stack per batch."""
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        alpha: float = 0.6,
+        beta0: float = 0.4,
+        beta_steps: int = 100_000,
+        eps: float = 1e-3,
+        rng: RngLike = None,
+    ):
+        self.capacity = int(capacity)
+        self.alpha = alpha
+        self.beta0 = beta0
+        self.beta_steps = beta_steps
+        self.eps = eps
+        self._tree = ReferenceSumTree(self.capacity)
+        self._storage: list[Transition | None] = [None] * self.capacity
+        self._next = 0
+        self._size = 0
+        self._max_priority = 1.0
+        self._samples_drawn = 0
+        self._rng = as_generator(rng)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def beta(self) -> float:
+        frac = min(1.0, self._samples_drawn / self.beta_steps)
+        return self.beta0 + (1.0 - self.beta0) * frac
+
+    def add(self, transition: Transition, priority: float | None = None) -> int:
+        raw = self._max_priority if priority is None else abs(float(priority))
+        raw = max(raw, self.eps)
+        self._max_priority = max(self._max_priority, raw)
+        slot = self._next
+        self._storage[slot] = transition
+        self._tree.set(slot, raw**self.alpha)
+        self._next = (self._next + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+        return slot
+
+    def extend(self, transitions, priorities=None):
+        slots = []
+        for i, t in enumerate(transitions):
+            slots.append(self.add(t, None if priorities is None else priorities[i]))
+        return slots
+
+    def sample(self, batch_size: int) -> TransitionBatch:
+        idx = self._tree.sample(batch_size, self._rng)
+        self._samples_drawn += batch_size
+        total = self._tree.total
+        probs = np.asarray([self._tree.get(int(i)) for i in idx]) / total
+        weights = np.power(self._size * np.maximum(probs, 1e-12), -self.beta)
+        weights /= weights.max()
+        items = [self._storage[int(i)] for i in idx]
+        return TransitionBatch(
+            states=np.stack([t.state for t in items]),
+            actions=np.stack([t.action for t in items]),
+            rewards=np.asarray([t.reward for t in items], dtype=np.float64),
+            next_states=np.stack([t.next_state for t in items]),
+            dones=np.asarray([t.done for t in items], dtype=np.float64),
+            indices=np.asarray(idx, dtype=np.int64),
+            weights=weights,
+        )
+
+    def update_priorities(self, indices, td_errors) -> None:
+        for slot, err in zip(np.asarray(indices), np.asarray(td_errors)):
+            raw = max(abs(float(err)), self.eps)
+            self._max_priority = max(self._max_priority, raw)
+            self._tree.set(int(slot), raw**self.alpha)
+
+
+def reference_clamped(self, ranges=None, cpu=None):
+    """Seed ``KnobSettings.clamped``: scalar np.clip per knob."""
+    from repro.nfv.knobs import DEFAULT_RANGES, KnobSettings
+
+    ranges = ranges or DEFAULT_RANGES
+    freq = float(np.clip(self.cpu_freq_ghz, ranges.min_freq_ghz, ranges.max_freq_ghz))
+    if cpu is not None:
+        freq = reference_clamp_frequency(cpu, freq)
+    return KnobSettings(
+        cpu_share=float(np.clip(self.cpu_share, ranges.min_cpu_share, ranges.max_cpu_share)),
+        cpu_freq_ghz=freq,
+        llc_fraction=float(
+            np.clip(self.llc_fraction, ranges.min_llc_fraction, ranges.max_llc_fraction)
+        ),
+        dma_mb=float(np.clip(self.dma_mb, ranges.min_dma_mb, ranges.max_dma_mb)),
+        batch_size=int(np.clip(round(self.batch_size), ranges.min_batch, ranges.max_batch)),
+    )
+
+
+def reference_clamp_frequency(spec, freq_ghz: float) -> float:
+    """Seed ``CpuSpec.clamp_frequency``: ndarray argmin over the ladder."""
+    ladder = np.asarray(spec.freq_ladder_ghz)
+    return float(ladder[int(np.argmin(np.abs(ladder - freq_ghz)))])
+
+
+def reference_repartition_llc(self) -> None:
+    """Seed ``Node._repartition_llc``: rebuild the CLOS layout every call."""
+    if not self._chains:
+        return
+    shares = {n: h.knobs.llc_fraction for n, h in self._chains.items()}
+    total_ways = sum(self.cache.ways_for_fraction(f) for f in shares.values())
+    if total_ways > self.server.llc.allocatable_ways:
+        scale = self.server.llc.allocatable_ways / total_ways
+        shares = {n: max(1e-6, f * scale) for n, f in shares.items()}
+        while (
+            sum(self.cache.ways_for_fraction(f) for f in shares.values())
+            > self.server.llc.allocatable_ways
+        ):
+            biggest = max(shares, key=lambda n: shares[n])
+            shares[biggest] = max(1e-6, shares[biggest] * 0.9)
+    self.cache.allocate(shares)
+
+
+class RebuildingEnv(NFVEnv):
+    """An environment that rebuilds the platform every episode.
+
+    Reproduces the pre-reuse reset cost so the training-slice benchmark
+    can price the rebuild-free episodes against the seed behaviour.
+    """
+
+    def reset(self, **kwargs):
+        self.controller = None
+        return super().reset(**kwargs)

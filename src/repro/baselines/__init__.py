@@ -1,8 +1,10 @@
-"""Comparison controllers: Baseline, Heuristics (Alg. 1), EE-Pstate."""
+"""Comparison controllers: Baseline, Heuristics (Alg. 1), EE-Pstate,
+plus the grid-search Oracle-Static upper bound."""
 
 from repro.baselines.base import Controller, ControllerRun, run_controller
 from repro.baselines.ee_pstate import EEPstateController
 from repro.baselines.heuristic import HeuristicController
+from repro.baselines.oracle import OracleStaticController, default_knob_grid
 from repro.baselines.static import StaticBaseline
 
 __all__ = [
@@ -11,5 +13,7 @@ __all__ = [
     "run_controller",
     "EEPstateController",
     "HeuristicController",
+    "OracleStaticController",
+    "default_knob_grid",
     "StaticBaseline",
 ]

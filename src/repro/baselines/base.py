@@ -49,6 +49,15 @@ class Controller(abc.ABC):
     def reset(self) -> None:
         """Clear any internal state before a fresh run."""
 
+    def prepare(self, chain: ServiceChain, engine=None) -> None:
+        """Observe the deployed chain and platform before the run starts.
+
+        Most rule controllers ignore it; model-based ones (the grid-search
+        oracle) need the chain and the node's actual
+        :class:`~repro.nfv.engine.PacketEngine` — including any custom
+        ``EngineParams`` — to evaluate candidate configurations.
+        """
+
 
 @dataclass
 class ControllerRun:
@@ -88,6 +97,7 @@ def run_controller(
         cat_enabled=controller.cat_enabled,
         park_idle_cores=controller.park_idle_cores,
     )
+    controller.prepare(chain, node.engine)
     ctrl = OnvmController(node, interval_s=interval_s, rng=rng)
     knobs = controller.initial_knobs()
     ctrl.add_chain(chain, generator, knobs)

@@ -91,18 +91,23 @@ class EEPstateController(Controller):
         """
         demand_cycles = predicted_pps * self.cycles_per_packet_est * self.headroom
         share_steps = np.arange(0.5, self.max_share + 1e-9, 0.5)
-        for freq in self.cpu.freq_ladder_ghz:
-            for share in share_steps:
-                if share * freq * 1e9 >= demand_cycles:
-                    # Prefer the *fewest cores*: re-scan shares at the top
-                    # frequency first if a smaller share exists there.
-                    for share2 in share_steps:
-                        if share2 * self.cpu.base_freq_ghz * 1e9 >= demand_cycles:
-                            if share2 < share:
-                                return float(share2), self.cpu.base_freq_ghz
-                            break
-                    return float(share), float(freq)
-        return float(self.max_share), self.cpu.base_freq_ghz
+        ladder = np.asarray(self.cpu.freq_ladder_ghz, dtype=np.float64)
+        # Feasibility over the whole (P-state, core-count) grid at once;
+        # both axes ascend, so the first feasible entry is the scan's pick.
+        feasible = share_steps[None, :] * ladder[:, None] * 1e9 >= demand_cycles
+        per_freq = feasible.any(axis=1)
+        if not per_freq.any():
+            return float(self.max_share), self.cpu.base_freq_ghz
+        fi = int(np.argmax(per_freq))
+        share = float(share_steps[int(np.argmax(feasible[fi]))])
+        # Prefer the *fewest cores*: a smaller share at the top frequency
+        # beats more cores at a lower P-state.
+        base_feasible = share_steps * self.cpu.base_freq_ghz * 1e9 >= demand_cycles
+        if base_feasible.any():
+            share2 = float(share_steps[int(np.argmax(base_feasible))])
+            if share2 < share:
+                return share2, self.cpu.base_freq_ghz
+        return share, float(ladder[fi])
 
     def decide(
         self, sample: TelemetrySample, analyzer: FlowAnalyzer, knobs: KnobSettings

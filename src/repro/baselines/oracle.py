@@ -1,0 +1,165 @@
+"""Oracle-Static: the best fixed configuration found by exhaustive search.
+
+The paper's Baseline never tunes anything; its Heuristic tunes slowly by
+trial and error.  This controller answers the natural question between
+them — *how good could a static configuration be?* — by grid-searching
+the whole knob space against the observed workload in one vectorized
+:meth:`~repro.nfv.engine.PacketEngine.step_batch` call and then pinning
+the winner for the rest of the run.  It is the simulator equivalent of
+an offline exhaustive sweep (the thousands-of-candidates regime of the
+joint placement/allocation literature), and doubles as an upper bound
+for every static policy in the Fig. 9 comparison.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.baselines.base import Controller
+from repro.nfv.chain import ServiceChain
+from repro.nfv.engine import PacketEngine, PollingMode, TelemetrySample
+from repro.nfv.knobs import DEFAULT_RANGES, KnobRanges, KnobSettings
+from repro.traffic.analysis import FlowAnalyzer
+
+#: Supported search objectives -> (maximized) score over a BatchTelemetry.
+OBJECTIVES = ("energy_efficiency", "max_throughput", "min_energy")
+
+
+def default_knob_grid(
+    ranges: KnobRanges = DEFAULT_RANGES,
+    *,
+    shares: tuple[float, ...] = (0.5, 1.0, 1.5),
+    freqs: tuple[float, ...] = (1.2, 1.5, 1.8, 2.1),
+    llc_fractions: tuple[float, ...] = (0.1, 0.25, 0.5, 0.8),
+    dma_mbs: tuple[float, ...] = (2.0, 8.0, 24.0),
+    batches: tuple[int, ...] = (16, 64, 192),
+) -> list[KnobSettings]:
+    """A coarse full-factorial knob grid (432 settings by default).
+
+    Every candidate is clamped to the physical ranges, mirroring what the
+    control plane would accept.
+    """
+    grid = [
+        KnobSettings(
+            cpu_share=s, cpu_freq_ghz=f, llc_fraction=c, dma_mb=d, batch_size=b
+        ).clamped(ranges)
+        for s, f, c, d, b in product(shares, freqs, llc_fractions, dma_mbs, batches)
+    ]
+    return grid
+
+
+class OracleStaticController(Controller):
+    """Best static knob setting by vectorized exhaustive search.
+
+    The first control interval runs on defaults to observe the workload;
+    the grid search then scores every candidate against the observed
+    arrival rate and frame size in one ``step_batch`` call and locks in
+    the winner.  ``objective`` picks the score: Eq. 3's
+    ``energy_efficiency`` (default), ``max_throughput`` (ties broken by
+    energy), or ``min_energy`` among settings that keep at least
+    ``min_delivery`` of the offered load flowing.
+    """
+
+    polling = PollingMode.ADAPTIVE
+    cat_enabled = True
+    park_idle_cores = True
+    name = "Oracle-Static"
+
+    def __init__(
+        self,
+        *,
+        objective: str = "energy_efficiency",
+        grid: list[KnobSettings] | None = None,
+        ranges: KnobRanges = DEFAULT_RANGES,
+        min_delivery: float = 0.5,
+        engine: PacketEngine | None = None,
+    ):
+        if objective not in OBJECTIVES:
+            raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+        if not 0.0 <= min_delivery <= 1.0:
+            raise ValueError("min_delivery must be in [0, 1]")
+        self.objective = objective
+        self.ranges = ranges
+        self.grid = grid if grid is not None else default_knob_grid(ranges)
+        if not self.grid:
+            raise ValueError("search grid must contain at least one setting")
+        self.min_delivery = min_delivery
+        self._engine = engine
+        self._knobs: KnobSettings | None = None
+        self._chain: ServiceChain | None = None
+
+    def reset(self) -> None:
+        """Forget the locked-in choice (fresh run, fresh search)."""
+        self._knobs = None
+
+    def prepare(self, chain: ServiceChain, engine: PacketEngine | None = None) -> None:
+        """Remember the deployed chain and platform; the search runs on them.
+
+        A platform engine handed in here (the node's own, carrying any
+        custom ``EngineParams``) takes precedence over a constructor
+        override, so candidates are scored on the physics that will
+        actually serve them.
+        """
+        self._chain = chain
+        if engine is not None:
+            self._engine = engine
+
+    def initial_knobs(self) -> KnobSettings:
+        """Defaults for the observation interval (nothing chosen yet)."""
+        return KnobSettings().clamped(self.ranges)
+
+    def _score(self, bt) -> np.ndarray:
+        """Higher-is-better score per grid row for the chosen objective."""
+        thr = bt.throughput_gbps[:, 0]
+        energy = bt.energy_j[:, 0]
+        if self.objective == "max_throughput":
+            # Lexicographic: throughput first, cheaper energy as tiebreak.
+            return thr - 1e-9 * energy
+        if self.objective == "min_energy":
+            offered = float(bt.offered_pps[0])
+            delivered_frac = (
+                bt.achieved_pps[:, 0] / offered if offered > 0 else np.ones_like(energy)
+            )
+            ok = delivered_frac >= self.min_delivery
+            score = -energy
+            return np.where(ok, score, score - 1e12)
+        eff = bt.energy_efficiency[:, 0]
+        return eff
+
+    def search(
+        self,
+        chain: ServiceChain,
+        offered_pps: float,
+        packet_bytes: float,
+        *,
+        dt_s: float = 1.0,
+    ) -> KnobSettings:
+        """Run the vectorized grid search and lock in the winner."""
+        engine = self._engine or PacketEngine(
+            polling=self.polling,
+            cat_enabled=self.cat_enabled,
+            park_idle_cores=self.park_idle_cores,
+        )
+        bt = engine.step_batch(chain, self.grid, [offered_pps], packet_bytes, dt_s)
+        best = int(np.argmax(self._score(bt)))
+        self._knobs = self.grid[best]
+        return self._knobs
+
+    def decide(
+        self, sample: TelemetrySample, analyzer: FlowAnalyzer, knobs: KnobSettings
+    ) -> KnobSettings:
+        """Search once against the observed workload, then hold steady."""
+        if self._knobs is None:
+            if self._chain is None:
+                raise RuntimeError(
+                    "OracleStaticController needs prepare(chain) before decide()"
+                )
+            self.search(
+                self._chain,
+                sample.arrival_rate_pps,
+                sample.packet_bytes,
+                dt_s=sample.dt_s,
+            )
+        return self._knobs

@@ -87,18 +87,23 @@ class NFVEnv:
     # -- lifecycle --------------------------------------------------------------
 
     def reset(self, *, knobs: KnobSettings | None = None) -> np.ndarray:
-        """Start a fresh episode on a fresh platform; returns the initial obs.
+        """Start a fresh episode on a pristine platform; returns the initial obs.
 
-        The platform is rebuilt so cache/ring state never leaks across
-        episodes; the traffic generator continues its own trajectory.
+        The node and controller are built once and recycled through their
+        cheap ``reset()`` on later episodes — cache/ring/meter state never
+        leaks across episodes, but engines and hardware models are not
+        reallocated.  The traffic generator continues its own trajectory.
         """
-        node = Node(
-            params=self._engine_params,
-            polling=self._polling,
-        )
-        self.controller = OnvmController(
-            node, interval_s=self.interval_s, rng=self._rng
-        )
+        if self.controller is None:
+            node = Node(
+                params=self._engine_params,
+                polling=self._polling,
+            )
+            self.controller = OnvmController(
+                node, interval_s=self.interval_s, rng=self._rng
+            )
+        else:
+            self.controller.reset()
         self.controller.add_chain(self.chain, self.generator, knobs or KnobSettings())
         self._step_count = 0
         # Run one warm-up interval under the initial knobs so the first

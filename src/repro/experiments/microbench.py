@@ -2,7 +2,9 @@
 
 Each function reproduces one figure's sweep on the simulator and returns
 both the raw rows and a rendered :class:`ExperimentReport` whose tables
-carry the same columns the paper plots.
+carry the same columns the paper plots.  All sweeps evaluate their whole
+knob grid through one vectorized :meth:`PacketEngine.step_batch` call per
+figure (per chain/frame size) instead of stepping point by point.
 """
 
 from __future__ import annotations
@@ -76,34 +78,39 @@ def fig1_llc_split(
     engine = PacketEngine()
     c1, c2 = fig1_chains()
     allocatable = engine.server.llc.way_bytes * engine.server.llc.allocatable_ways
-    rows: list[LlcSplitRow] = []
     for x, y in splits:
         if not 0 < x < 1 or not 0 < y < 1:
             raise ValueError("splits must be fractions in (0, 1)")
-        k1 = KnobSettings(
-            cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=x, dma_mb=24, batch_size=64
+    k1_grid = [
+        KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=x, dma_mb=24, batch_size=64)
+        for x, _ in splits
+    ]
+    k2_grid = [
+        KnobSettings(cpu_share=1.0, cpu_freq_ghz=2.1, llc_fraction=y, dma_mb=8, batch_size=64)
+        for _, y in splits
+    ]
+    b1 = engine.step_batch(
+        c1, k1_grid, [c1_rate_pps], packet_bytes, WINDOW_S,
+        llc_bytes=np.asarray([allocatable * x for x, _ in splits]),
+    )
+    b2 = engine.step_batch(
+        c2, k2_grid, [c2_rate_pps], packet_bytes, WINDOW_S,
+        llc_bytes=np.asarray([allocatable * y for _, y in splits]),
+    )
+    e1, e2 = b1.energy_per_mpacket, b2.energy_per_mpacket
+    rows = [
+        LlcSplitRow(
+            c1_share=x,
+            c2_share=y,
+            c1_miss_rate=float(b1.llc_miss_rate_per_s[i, 0]),
+            c2_miss_rate=float(b2.llc_miss_rate_per_s[i, 0]),
+            c1_throughput_gbps=float(b1.throughput_gbps[i, 0]),
+            c2_throughput_gbps=float(b2.throughput_gbps[i, 0]),
+            c1_energy_per_mp=float(e1[i, 0]),
+            c2_energy_per_mp=float(e2[i, 0]),
         )
-        k2 = KnobSettings(
-            cpu_share=1.0, cpu_freq_ghz=2.1, llc_fraction=y, dma_mb=8, batch_size=64
-        )
-        s1 = engine.step(
-            c1, k1, c1_rate_pps, packet_bytes, WINDOW_S, llc_bytes=allocatable * x
-        )
-        s2 = engine.step(
-            c2, k2, c2_rate_pps, packet_bytes, WINDOW_S, llc_bytes=allocatable * y
-        )
-        rows.append(
-            LlcSplitRow(
-                c1_share=x,
-                c2_share=y,
-                c1_miss_rate=s1.llc_miss_rate_per_s,
-                c2_miss_rate=s2.llc_miss_rate_per_s,
-                c1_throughput_gbps=s1.throughput_gbps,
-                c2_throughput_gbps=s2.throughput_gbps,
-                c1_energy_per_mp=s1.energy_per_mpacket,
-                c2_energy_per_mp=s2.energy_per_mpacket,
-            )
-        )
+        for i, (x, y) in enumerate(splits)
+    ]
     report = ExperimentReport(
         "fig1",
         "LLC-split micro-benchmark: miss rate / throughput / Energy-MP for "
@@ -160,13 +167,15 @@ def fig2_freq_sweep(
     chain = chain or default_chain()
     engine = PacketEngine()
     offered = line_rate_pps(10.0, packet_bytes)
-    rows: list[FreqRow] = []
-    for f in freqs:
-        knobs = KnobSettings(
-            cpu_share=1.5, cpu_freq_ghz=f, llc_fraction=0.8, dma_mb=12, batch_size=64
-        )
-        s = engine.step(chain, knobs, offered, packet_bytes, WINDOW_S)
-        rows.append(FreqRow(f, s.throughput_gbps, s.energy_j))
+    grid = [
+        KnobSettings(cpu_share=1.5, cpu_freq_ghz=f, llc_fraction=0.8, dma_mb=12, batch_size=64)
+        for f in freqs
+    ]
+    bt = engine.step_batch(chain, grid, [offered], packet_bytes, WINDOW_S)
+    rows = [
+        FreqRow(f, float(bt.throughput_gbps[i, 0]), float(bt.energy_j[i, 0]))
+        for i, f in enumerate(freqs)
+    ]
     report = ExperimentReport(
         "fig2", "DVFS micro-benchmark: throughput and energy vs. core frequency."
     )
@@ -212,26 +221,32 @@ def fig3_batch_sweep(
     chain = chain or default_chain()
     engine = PacketEngine()
     offered = line_rate_pps(10.0, packet_bytes)
-    rows: list[BatchRow] = []
     for b in batches:
         if b < 1:
             raise ValueError("batch sizes must be >= 1")
-        knobs = KnobSettings(
-            cpu_share=1.2, cpu_freq_ghz=2.1, llc_fraction=0.27, dma_mb=8, batch_size=b
+    grid = [
+        KnobSettings(cpu_share=1.2, cpu_freq_ghz=2.1, llc_fraction=0.27, dma_mb=8, batch_size=b)
+        for b in batches
+    ]
+    bt = engine.step_batch(chain, grid, [offered], packet_bytes, 1.0)
+    achieved = bt.achieved_pps[:, 0]
+    # Fixed-volume energy: power * volume / rate, inf when nothing flows.
+    with np.errstate(divide="ignore"):
+        energy = np.where(
+            achieved > 0,
+            bt.power_w[:, 0] * (volume_packets / np.where(achieved > 0, achieved, 1.0)),
+            np.inf,
         )
-        energy, s = engine.fixed_volume_energy(
-            chain, knobs, offered, packet_bytes, volume_packets
+    misses = bt.misses_per_packet.sum(axis=1)
+    rows = [
+        BatchRow(
+            batch_size=b,
+            throughput_gbps=float(bt.throughput_gbps[i, 0]),
+            energy_j=float(energy[i]),
+            misses_per_packet=float(misses[i]),
         )
-        rows.append(
-            BatchRow(
-                batch_size=b,
-                throughput_gbps=s.throughput_gbps,
-                energy_j=energy,
-                misses_per_packet=float(
-                    sum(t.misses_per_packet for t in s.per_nf)
-                ),
-            )
-        )
+        for i, b in enumerate(batches)
+    ]
     report = ExperimentReport(
         "fig3",
         "Batch-size micro-benchmark: throughput, fixed-volume energy and "
@@ -273,16 +288,21 @@ def fig4_dma_sweep(
     chain = chain or default_chain()
     engine = PacketEngine()
     rows: list[DmaRow] = []
+    for d in dma_sizes_mb:
+        if d <= 0:
+            raise ValueError("DMA sizes must be positive")
+    grid = [
+        KnobSettings(cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.5, dma_mb=d, batch_size=64)
+        for d in dma_sizes_mb
+    ]
     for pkt in packet_sizes:
         offered = line_rate_pps(10.0, pkt)
-        for d in dma_sizes_mb:
-            if d <= 0:
-                raise ValueError("DMA sizes must be positive")
-            knobs = KnobSettings(
-                cpu_share=1.5, cpu_freq_ghz=2.1, llc_fraction=0.5, dma_mb=d, batch_size=64
-            )
-            s = engine.step(chain, knobs, offered, pkt, WINDOW_S)
-            rows.append(DmaRow(pkt, d, s.throughput_gbps, s.energy_per_mpacket))
+        bt = engine.step_batch(chain, grid, [offered], pkt, WINDOW_S)
+        empp = bt.energy_per_mpacket
+        rows.extend(
+            DmaRow(pkt, d, float(bt.throughput_gbps[i, 0]), float(empp[i, 0]))
+            for i, d in enumerate(dma_sizes_mb)
+        )
     report = ExperimentReport(
         "fig4",
         "DMA-buffer micro-benchmark: throughput and Energy/MP vs. buffer "

@@ -133,6 +133,11 @@ class CacheAllocator:
         """Mapping of chain name -> CLOS."""
         return dict(self._clos)
 
+    def clear(self) -> None:
+        """Drop all CLOS assignments (back to the post-construction state)."""
+        self._clos.clear()
+        self._next_id = 1
+
     def ways_for_fraction(self, fraction: float) -> int:
         """Convert an LLC share in [0,1] to a way count (>= 1)."""
         if not 0.0 <= fraction <= 1.0:
@@ -186,12 +191,12 @@ class CacheAllocator:
 
 
 def capacity_miss_ratio(
-    working_set_bytes: float,
-    capacity_bytes: float,
+    working_set_bytes,
+    capacity_bytes,
     *,
     locality: float = 2.0,
     floor: float = 0.02,
-) -> float:
+):
     """Steady-state miss ratio of a working set in a capacity.
 
     Power-law cache model: when the working set fits, only the compulsory
@@ -199,20 +204,41 @@ def capacity_miss_ratio(
     ``(capacity / ws)^locality`` (higher ``locality`` = steeper knee,
     typical of streaming packet workloads with modest reuse).  Output is
     clipped to [floor, 1].
+
+    Accepts scalars or same-shape arrays for the sizes; scalar inputs
+    return a plain float.
     """
-    if working_set_bytes < 0 or capacity_bytes < 0:
-        raise ValueError("sizes must be non-negative")
     if not 0.0 <= floor <= 1.0:
         raise ValueError("floor must be in [0, 1]")
-    if working_set_bytes == 0:
-        return floor
-    if capacity_bytes == 0:
-        return 1.0
-    ratio = capacity_bytes / working_set_bytes
-    if ratio >= 1.0:
-        return floor
-    hit = ratio**locality * (1.0 - floor)
-    return float(np.clip(1.0 - hit, floor, 1.0))
+    scalar = np.isscalar(working_set_bytes) and np.isscalar(capacity_bytes)
+    if scalar:
+        if working_set_bytes < 0 or capacity_bytes < 0:
+            raise ValueError("sizes must be non-negative")
+        if working_set_bytes == 0:
+            return floor
+        if capacity_bytes == 0:
+            return 1.0
+        ratio = capacity_bytes / working_set_bytes
+        if ratio >= 1.0:
+            return floor
+        hit = ratio**locality * (1.0 - floor)
+        return float(np.clip(1.0 - hit, floor, 1.0))
+    if np.any(np.asarray(working_set_bytes) < 0) or np.any(np.asarray(capacity_bytes) < 0):
+        raise ValueError("sizes must be non-negative")
+    ws = np.asarray(working_set_bytes, dtype=np.float64)
+    cap = np.asarray(capacity_bytes, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.where(ws > 0, cap / np.where(ws > 0, ws, 1.0), np.inf)
+    hit = np.where(ratio < 1.0, ratio, 0.0) ** locality * (1.0 - floor)
+    return np.where(
+        ws == 0,
+        floor,
+        np.where(
+            cap == 0,
+            1.0,
+            np.where(ratio >= 1.0, floor, np.clip(1.0 - hit, floor, 1.0)),
+        ),
+    )
 
 
 def batch_misses_per_packet(
@@ -256,12 +282,12 @@ def batch_misses_per_packet(
 
 
 def ddio_hit_ratio(
-    dma_buffer_bytes: float,
-    ddio_bytes: float,
-    allocated_bytes: float,
+    dma_buffer_bytes,
+    ddio_bytes,
+    allocated_bytes,
     *,
     spill_sharpness: float = 2.0,
-) -> float:
+):
     """Fraction of NIC writes landing in the LLC instead of DRAM.
 
     DDIO writes into its reserved slice; as long as the DMA ring fits in
@@ -269,27 +295,44 @@ def ddio_hit_ratio(
     stay cache-resident.  Larger rings wrap before the CPU consumes the
     data, so writes spill to memory ("DDIO miss") with a sharpness set by
     ``spill_sharpness``.  Returns a value in (0, 1].
+
+    ``dma_buffer_bytes`` / ``allocated_bytes`` may be arrays; scalar
+    inputs return a plain float.
     """
-    if dma_buffer_bytes < 0:
+    scalar = np.isscalar(dma_buffer_bytes) and np.isscalar(allocated_bytes)
+    if scalar:
+        if dma_buffer_bytes < 0:
+            raise ValueError("DMA buffer size must be non-negative")
+        if dma_buffer_bytes == 0:
+            return 1.0
+        eff = ddio_bytes + 0.5 * allocated_bytes
+        if eff <= 0:
+            return 0.0
+        x = dma_buffer_bytes / eff
+        if x <= 1.0:
+            return 1.0
+        # Compute in log space to avoid overflow for degenerate capacities.
+        log_hit = -spill_sharpness * np.log(x)
+        if log_hit < -700.0:
+            return 0.0
+        return float(np.exp(log_hit))
+    if np.any(np.asarray(dma_buffer_bytes) < 0):
         raise ValueError("DMA buffer size must be non-negative")
-    if dma_buffer_bytes == 0:
-        return 1.0
-    effective = ddio_bytes + 0.5 * allocated_bytes
-    if effective <= 0:
-        return 0.0
-    x = dma_buffer_bytes / effective
-    if x <= 1.0:
-        return 1.0
-    # Compute in log space to avoid overflow for degenerate capacities.
-    log_hit = -spill_sharpness * np.log(x)
-    if log_hit < -700.0:
-        return 0.0
-    return float(np.exp(log_hit))
+    dma = np.asarray(dma_buffer_bytes, dtype=np.float64)
+    effective = ddio_bytes + 0.5 * np.asarray(allocated_bytes, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = np.where(effective > 0, dma / np.where(effective > 0, effective, 1.0), np.inf)
+        # Compute in log space to avoid overflow for degenerate capacities.
+        log_hit = -spill_sharpness * np.log(np.where(x > 1.0, x, 1.0))
+    hit = np.where(log_hit < -700.0, 0.0, np.exp(np.maximum(log_hit, -745.0)))
+    return np.where(
+        dma == 0, 1.0, np.where(effective <= 0, 0.0, np.where(x <= 1.0, 1.0, hit))
+    )
 
 
 def prefetch_efficiency(
-    batch_size: int, *, max_efficiency: float = 0.85, ramp_batch: float = 96.0
-) -> float:
+    batch_size, *, max_efficiency: float = 0.85, ramp_batch: float = 96.0
+):
     """Fraction of memory latency hidden by prefetching at a batch size.
 
     Batching is what lets DPDK's software prefetcher (and the hardware
@@ -298,14 +341,22 @@ def prefetch_efficiency(
     With batch = 1 almost nothing is hidden; the benefit saturates at
     ``max_efficiency`` with an exponential ramp.  This is the mechanism
     behind the throughput rise on the left side of the paper's Fig. 3.
+
+    ``batch_size`` may be an array; scalar inputs return a plain float.
     """
-    if batch_size < 1:
-        raise ValueError("batch size must be >= 1")
     if not 0.0 <= max_efficiency < 1.0:
         raise ValueError("max_efficiency must be in [0, 1)")
     if ramp_batch <= 0:
         raise ValueError("ramp_batch must be positive")
-    return float(max_efficiency * (1.0 - np.exp(-(batch_size - 1) / ramp_batch)))
+    if np.isscalar(batch_size):
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        return float(max_efficiency * (1.0 - np.exp(-(batch_size - 1) / ramp_batch)))
+    if np.any(np.asarray(batch_size) < 1):
+        raise ValueError("batch size must be >= 1")
+    return max_efficiency * (
+        1.0 - np.exp(-(np.asarray(batch_size, dtype=np.float64) - 1) / ramp_batch)
+    )
 
 
 def contention_factor(total_demand_bytes: float, size_bytes: float) -> float:

@@ -119,9 +119,7 @@ class CpuSpec:
         Mirrors the userspace governor: writing any value to
         ``scaling_setspeed`` selects the closest supported frequency.
         """
-        ladder = np.asarray(self.freq_ladder_ghz)
-        idx = int(np.argmin(np.abs(ladder - freq_ghz)))
-        return float(ladder[idx])
+        return float(min(self.freq_ladder_ghz, key=lambda f: abs(f - freq_ghz)))
 
     def pstate_to_freq(self, pstate: int) -> float:
         """P-state index -> frequency.  P0 is the *highest* frequency."""

@@ -60,11 +60,16 @@ class DmaBufferModel:
         self.spec = spec or DmaSpec()
         self.llc = llc or LlcSpec()
 
-    def clamp(self, dma_bytes: float) -> float:
-        """Clamp a requested buffer size into the supported range."""
-        return float(np.clip(dma_bytes, self.spec.min_bytes, self.spec.max_bytes))
+    def clamp(self, dma_bytes):
+        """Clamp a requested buffer size into the supported range.
 
-    def ring_capacity_packets(self, dma_bytes: float, packet_bytes: float) -> float:
+        Accepts a scalar or array; scalar inputs return a plain float.
+        """
+        if np.isscalar(dma_bytes):
+            return float(min(max(dma_bytes, self.spec.min_bytes), self.spec.max_bytes))
+        return np.clip(dma_bytes, self.spec.min_bytes, self.spec.max_bytes)
+
+    def ring_capacity_packets(self, dma_bytes, packet_bytes: float):
         """How many packets the ring holds (each slot stores a full mbuf)."""
         if packet_bytes <= 0:
             raise ValueError("packet size must be positive")
@@ -74,7 +79,7 @@ class DmaBufferModel:
         slot = packet_bytes + 128.0  # 128 B descriptor + metadata
         return self.clamp(dma_bytes) / slot
 
-    def absorb_rate_pps(self, dma_bytes: float, packet_bytes: float) -> float:
+    def absorb_rate_pps(self, dma_bytes, packet_bytes: float):
         """Max sustainable arrival rate without drops (packets/s).
 
         The ring must absorb a burst of ``burstiness * rate *
@@ -84,23 +89,29 @@ class DmaBufferModel:
         cap = self.ring_capacity_packets(dma_bytes, packet_bytes)
         return cap / (self.spec.burstiness * self.spec.drain_latency_s)
 
-    def delivery_ratio(
-        self, dma_bytes: float, packet_bytes: float, arrival_pps: float
-    ) -> float:
+    def delivery_ratio(self, dma_bytes, packet_bytes: float, arrival_pps):
         """Fraction of offered packets that survive the rx ring.
 
         1.0 while the absorb rate covers the arrival rate; beyond that the
         ring overflows and excess packets are tail-dropped, so delivery
-        decays as ``absorb / arrival``.
+        decays as ``absorb / arrival``.  ``dma_bytes`` and ``arrival_pps``
+        may be broadcast-compatible arrays; scalar inputs return a float.
         """
-        if arrival_pps < 0:
+        if np.isscalar(dma_bytes) and np.isscalar(arrival_pps):
+            if arrival_pps < 0:
+                raise ValueError("arrival rate must be non-negative")
+            if arrival_pps == 0:
+                return 1.0
+            absorb = self.absorb_rate_pps(dma_bytes, packet_bytes)
+            return float(min(1.0, absorb / arrival_pps))
+        if np.any(np.asarray(arrival_pps) < 0):
             raise ValueError("arrival rate must be non-negative")
-        if arrival_pps == 0:
-            return 1.0
         absorb = self.absorb_rate_pps(dma_bytes, packet_bytes)
-        return float(min(1.0, absorb / arrival_pps))
+        arrival = np.asarray(arrival_pps, dtype=np.float64)
+        ratio = np.minimum(1.0, absorb / np.where(arrival > 0, arrival, 1.0))
+        return np.where(arrival == 0, 1.0, ratio)
 
-    def llc_spill_hit_ratio(self, dma_bytes: float, allocated_bytes: float) -> float:
+    def llc_spill_hit_ratio(self, dma_bytes, allocated_bytes):
         """DDIO hit ratio for this ring size against a chain's allocation."""
         return ddio_hit_ratio(
             self.clamp(dma_bytes), self.llc.ddio_bytes, allocated_bytes

@@ -72,7 +72,12 @@ class ServerPowerModel:
         Static share stays constant; dynamic share scales as ``(f/f_base)^3``.
         """
         p = self.params
-        f = np.clip(np.asarray(freq_ghz, dtype=np.float64), p.min_freq_ghz, p.base_freq_ghz)
+        if np.isscalar(freq_ghz):
+            f = np.float64(min(max(freq_ghz, p.min_freq_ghz), p.base_freq_ghz))
+        else:
+            f = np.clip(
+                np.asarray(freq_ghz, dtype=np.float64), p.min_freq_ghz, p.base_freq_ghz
+            )
         band = p.p_max_w - p.p_idle_w
         scale = p.static_fraction + (1 - p.static_fraction) * (f / p.base_freq_ghz) ** 3
         out = p.p_idle_w + band * scale
@@ -95,21 +100,30 @@ class ServerPowerModel:
             Operating frequency; ``None`` means base frequency.
         idle_fraction:
             Scale on the idle power term, < 1 when cores sit in deep
-            C-states (see :meth:`CpuFreqController.idle_power_fractions`).
+            C-states (see :meth:`CpuFreqController.idle_power_fractions`);
+            may be an array broadcast against ``utilization``.
 
         The Fan model term ``2u - u^h`` is monotonically increasing on
         [0, 1] for ``h in (0, 2]``, equals 0 at u=0 and 1 at u=1, so power
         always lands in ``[idle_fraction * P_idle, P_max(f)]``.
         """
         p = self.params
+        scalar = (
+            np.isscalar(utilization)
+            and (freq_ghz is None or np.isscalar(freq_ghz))
+            and np.isscalar(idle_fraction)
+        )
+        if scalar:
+            u = np.float64(min(max(utilization, 0.0), 1.0))
+            p_max = self.p_max_at(freq_ghz if freq_ghz is not None else p.base_freq_ghz)
+            p_idle = p.p_idle_w * np.float64(min(max(idle_fraction, 0.0), 1.0))
+            shape = 2.0 * u - np.power(u, p.h)
+            return float((p_max - p_idle) * shape + p_idle)
         u = np.clip(np.asarray(utilization, dtype=np.float64), 0.0, 1.0)
         p_max = self.p_max_at(freq_ghz if freq_ghz is not None else p.base_freq_ghz)
-        p_idle = p.p_idle_w * float(np.clip(idle_fraction, 0.0, 1.0))
+        p_idle = p.p_idle_w * np.clip(np.asarray(idle_fraction, dtype=np.float64), 0.0, 1.0)
         shape = 2.0 * u - np.power(u, p.h)
-        out = (np.asarray(p_max) - p_idle) * shape + p_idle
-        if np.isscalar(utilization) and (freq_ghz is None or np.isscalar(freq_ghz)):
-            return float(out)
-        return out
+        return (np.asarray(p_max) - p_idle) * shape + p_idle
 
     def energy(
         self,

@@ -82,6 +82,18 @@ class OnvmController:
 
     # -- configuration -----------------------------------------------------
 
+    def reset(self) -> None:
+        """Tear down all chains and rewind the clock, keeping the node.
+
+        The node's engines and hardware models survive (see
+        :meth:`Node.reset`); bindings, analyzers and cached telemetry are
+        dropped so the next :meth:`add_chain` starts a pristine run.
+        """
+        self.node.reset()
+        self._bindings.clear()
+        self._t = 0.0
+        self._last = {}
+
     @property
     def time_s(self) -> float:
         """Simulated wall-clock time."""

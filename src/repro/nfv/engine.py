@@ -39,13 +39,20 @@ CPU utilization depends on the polling mode: the Baseline's DPDK
 poll-mode driver "uses complete cycles of dedicated cores" (util = 100%
 on allocated cores); GreenNFV's "mix of callback and polling" lets
 utilization track actual work with a small polling overhead.
+
+The implementation is array-native: the per-NF cost model is evaluated
+over whole chains at once from an immutable, cached :class:`ChainProfile`
+(the NF catalog constants of a chain laid out as NumPy arrays), and
+:meth:`PacketEngine.step_batch` evaluates a K-knob x L-load grid in one
+vectorized call — the fast path the figure scans, knob searches and
+scenario sweeps run on.
 """
 
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -114,6 +121,63 @@ class EngineParams:
     no_cat_contention: float = 1.35
 
 
+@dataclass(frozen=True)
+class ChainProfile:
+    """A chain's per-NF cost constants laid out as immutable arrays.
+
+    The arrays depend only on the chain and the packet size, so profiles
+    are cached per ``(chain, packet_bytes, line_bytes)`` and shared by
+    every engine evaluation — the scalar :meth:`PacketEngine.step` and
+    the grid :meth:`PacketEngine.step_batch` both start from here.
+    """
+
+    names: tuple[str, ...]
+    #: Pure compute cycles per packet per NF (base + per_byte * pkt).
+    compute_cycles: np.ndarray
+    #: State-table cache lines dereferenced per packet per NF.
+    state_lines: np.ndarray
+    #: Frame cache lines each NF reads per packet.
+    touched_lines: np.ndarray
+    total_state_bytes: float
+    packet_bytes: float
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+@lru_cache(maxsize=1024)
+def chain_profile(
+    chain: ServiceChain, packet_bytes: float, line_bytes: float = 64.0
+) -> ChainProfile:
+    """Build (or fetch the cached) :class:`ChainProfile` for a chain.
+
+    ``ServiceChain`` is a frozen value type, so profiles are memoized on
+    the (chain, packet size, cache-line size) triple.
+    """
+    if packet_bytes <= 0:
+        raise ValueError("packet size must be positive")
+    compute = np.asarray(
+        [nf.cycles_for_packet(packet_bytes) for nf in chain.nfs], dtype=np.float64
+    )
+    state_lines = np.asarray(
+        [nf.state_lines_touched for nf in chain.nfs], dtype=np.float64
+    )
+    touched = np.asarray(
+        [nf.touched_lines(packet_bytes, line_bytes) for nf in chain.nfs],
+        dtype=np.float64,
+    )
+    for arr in (compute, state_lines, touched):
+        arr.flags.writeable = False
+    return ChainProfile(
+        names=tuple(nf.name for nf in chain.nfs),
+        compute_cycles=compute,
+        state_lines=state_lines,
+        touched_lines=touched,
+        total_state_bytes=chain.total_state_bytes,
+        packet_bytes=float(packet_bytes),
+    )
+
+
 @dataclass
 class NFTelemetry:
     """Per-NF interval measurements."""
@@ -165,6 +229,121 @@ class TelemetrySample:
         return self.throughput_gbps / (self.energy_j / 1e3)
 
 
+@dataclass
+class BatchTelemetry:
+    """Telemetry of a K-knob x L-load grid evaluated in one call.
+
+    Grid quantities have shape ``(K, L)``; per-NF quantities depend only
+    on the knobs and have shape ``(K, n_nfs)``.  Row ``k`` corresponds to
+    ``knobs[k]``; column ``l`` to ``offered_pps[l]``.
+    """
+
+    dt_s: float
+    packet_bytes: float
+    offered_pps: np.ndarray  # (L,)
+    achieved_pps: np.ndarray  # (K, L)
+    throughput_gbps: np.ndarray  # (K, L)
+    llc_miss_rate_per_s: np.ndarray  # (K, L)
+    cpu_utilization: np.ndarray  # (K, L)
+    cpu_cores_busy: np.ndarray  # (K, L)
+    power_w: np.ndarray  # (K, L)
+    energy_j: np.ndarray  # (K, L)
+    dropped_pps: np.ndarray  # (K, L)
+    latency_s: np.ndarray  # (K, L)
+    chain_rate_pps: np.ndarray  # (K,)
+    cycles_per_packet: np.ndarray  # (K, n)
+    misses_per_packet: np.ndarray  # (K, n)
+    service_rate_pps: np.ndarray  # (K, n)
+    nf_utilization: np.ndarray  # (K, L, n)
+    nf_names: tuple[str, ...] = ()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(K knob settings, L offered loads)."""
+        return self.achieved_pps.shape
+
+    @property
+    def energy_per_mpacket(self) -> np.ndarray:
+        """Energy per million processed packets across the grid."""
+        packets = self.achieved_pps * self.dt_s
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(
+                packets > 0, self.energy_j / (packets / 1e6), np.inf
+            )
+        return out
+
+    @property
+    def energy_efficiency(self) -> np.ndarray:
+        """Gbps per kJ across the grid (Eq. 3's lambda)."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            out = np.where(
+                self.energy_j > 0,
+                self.throughput_gbps / (self.energy_j / 1e3),
+                0.0,
+            )
+        return out
+
+    def sample(self, k: int, l: int) -> TelemetrySample:
+        """Materialize one grid point as a full :class:`TelemetrySample`."""
+        per_nf = [
+            NFTelemetry(
+                name=name,
+                cycles_per_packet=float(self.cycles_per_packet[k, i]),
+                service_rate_pps=float(self.service_rate_pps[k, i]),
+                utilization=float(self.nf_utilization[k, l, i]),
+                misses_per_packet=float(self.misses_per_packet[k, i]),
+            )
+            for i, name in enumerate(self.nf_names)
+        ]
+        return TelemetrySample(
+            dt_s=self.dt_s,
+            offered_pps=float(self.offered_pps[l]),
+            achieved_pps=float(self.achieved_pps[k, l]),
+            packet_bytes=self.packet_bytes,
+            throughput_gbps=float(self.throughput_gbps[k, l]),
+            llc_miss_rate_per_s=float(self.llc_miss_rate_per_s[k, l]),
+            cpu_utilization=float(self.cpu_utilization[k, l]),
+            cpu_cores_busy=float(self.cpu_cores_busy[k, l]),
+            power_w=float(self.power_w[k, l]),
+            energy_j=float(self.energy_j[k, l]),
+            dropped_pps=float(self.dropped_pps[k, l]),
+            latency_s=float(self.latency_s[k, l]),
+            arrival_rate_pps=float(self.offered_pps[l]),
+            per_nf=per_nf,
+        )
+
+
+def _knob_arrays(
+    knobs_grid,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """(cpu_share, freq_ghz, llc_fraction, dma_bytes, batch) columns.
+
+    Accepts a sequence of :class:`KnobSettings` or an ``(K, 5)`` array in
+    :meth:`KnobSettings.as_array` layout (dma in MB).
+    """
+    if isinstance(knobs_grid, np.ndarray):
+        arr = np.asarray(knobs_grid, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 5:
+            raise ValueError(f"knob grid array must have shape (K, 5), got {arr.shape}")
+        share, freq, llc_frac = arr[:, 0], arr[:, 1], arr[:, 2]
+        dma_bytes = arr[:, 3] * 1e6
+        batch = np.round(arr[:, 4])
+    else:
+        knobs_list = list(knobs_grid)
+        if not knobs_list:
+            raise ValueError("knob grid must contain at least one setting")
+        share = np.asarray([k.cpu_share for k in knobs_list], dtype=np.float64)
+        freq = np.asarray([k.cpu_freq_ghz for k in knobs_list], dtype=np.float64)
+        llc_frac = np.asarray([k.llc_fraction for k in knobs_list], dtype=np.float64)
+        dma_bytes = np.asarray([k.dma_bytes for k in knobs_list], dtype=np.float64)
+        batch = np.asarray([float(k.batch_size) for k in knobs_list], dtype=np.float64)
+    if np.any(share <= 0) or np.any(freq <= 0) or np.any(batch < 1):
+        raise ValueError("knob grid contains invalid cpu_share/freq/batch values")
+    if np.any(llc_frac <= 0) or np.any(llc_frac > 1.0) or np.any(dma_bytes <= 0):
+        raise ValueError("knob grid contains invalid llc_fraction/dma values")
+    return share, freq, llc_frac, dma_bytes, batch
+
+
 class PacketEngine:
     """Computes one chain's interval telemetry on one node's hardware."""
 
@@ -187,17 +366,20 @@ class PacketEngine:
 
     # -- cache environment ---------------------------------------------------
 
-    def effective_llc_bytes(self, requested_bytes: float) -> tuple[float, float]:
+    def effective_llc_bytes(self, requested_bytes):
         """(effective allocation, contention multiplier) for a chain.
 
         With CAT the chain keeps its CLOS grant exclusively.  Without CAT
         ("all other components set to default values" — the Baseline and
         EE-Pstate do not manage the cache) the chain competes with
         background tenants for the whole allocatable region, shrinking its
-        effective share and adding conflict misses.
+        effective share and adding conflict misses.  Accepts a scalar or
+        an array of requested capacities.
         """
         if self.cat_enabled:
-            return requested_bytes, 1.0
+            if np.isscalar(requested_bytes):
+                return requested_bytes, 1.0
+            return np.asarray(requested_bytes, dtype=np.float64), 1.0
         llc = self.server.llc
         allocatable = llc.way_bytes * llc.allocatable_ways
         bg = self.params.no_cat_background_share * allocatable
@@ -205,6 +387,66 @@ class PacketEngine:
         return share, self.params.no_cat_contention
 
     # -- per-NF cost -------------------------------------------------------
+
+    def _chain_costs(
+        self,
+        profile: ChainProfile,
+        batch,
+        dma_bytes,
+        llc_bytes,
+        contention,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(cycles/packet, misses/packet) for every NF of a chain at once.
+
+        ``batch``/``dma_bytes``/``llc_bytes``/``contention`` are scalars
+        (shape ``()``) or knob-grid columns of shape ``(K, 1)``; the NF
+        axis is last, so results have shape ``(n,)`` or ``(K, n)``.
+        """
+        llc = self.server.llc
+        p = self.params
+        scalar = np.ndim(batch) == 0
+
+        pf = prefetch_efficiency(batch)
+        pen_eff = llc.miss_penalty_cycles * (1.0 - pf)
+        hit_eff = llc.hit_cycles * (1.0 - pf)
+
+        # Working set the chain keeps live in its allocation.
+        ws = profile.total_state_bytes + batch * profile.packet_bytes
+        base_miss = capacity_miss_ratio(ws, llc_bytes, locality=p.cache_locality)
+
+        # Payload access: DDIO landing for the first NF, LLC residency of
+        # the in-flight batch for the rest.
+        p_hit0 = self.dma_model.llc_spill_hit_ratio(dma_bytes, llc_bytes)
+        if scalar:
+            p_miss = min(1.0, base_miss * contention)
+            p_hit0 = max(0.0, p_hit0 * (1.0 - p_miss * 0.5))
+            p_hit = np.full(len(profile), 1.0 - p_miss)
+            p_hit[0] = p_hit0
+        else:
+            p_miss = np.minimum(1.0, base_miss * contention)
+            p_hit0 = np.maximum(0.0, p_hit0 * (1.0 - p_miss * 0.5))
+            nf_shape = np.broadcast_shapes(np.shape(p_miss), (len(profile),))
+            p_hit = np.broadcast_to(np.asarray(1.0 - p_miss), nf_shape).copy()
+            p_hit[..., 0] = np.reshape(p_hit0, np.shape(p_miss))[..., 0]
+
+        # State-table walks.
+        state_cycles = profile.state_lines * p_miss * pen_eff
+        misses = profile.state_lines * p_miss
+
+        payload_cycles = profile.touched_lines * p.mem_factor * (
+            p_hit * hit_eff + (1.0 - p_hit) * pen_eff
+        )
+        misses = misses + profile.touched_lines * (1.0 - p_hit)
+
+        # Cold misses + per-call overheads amortized over the batch.
+        cold_cycles = p.cold_lines_per_batch * pen_eff / batch
+        misses = misses + p.cold_lines_per_batch / batch
+        overhead = p.ring_call_cycles / batch + p.mbuf_cycles / np.sqrt(batch)
+
+        cycles = profile.compute_cycles + overhead + state_cycles
+        cycles = cycles + (payload_cycles + cold_cycles)
+        cycles[..., 1:] = cycles[..., 1:] + p.inter_nf_handoff_cycles
+        return cycles, misses
 
     def nf_cycles_per_packet(
         self,
@@ -220,74 +462,54 @@ class PacketEngine:
 
         ``llc_bytes`` is the chain's granted LLC capacity (NFs of a chain
         share one CLOS); ``contention`` multiplies miss probabilities for
-        cross-chain interference.
+        cross-chain interference.  The whole chain is evaluated at once
+        (the per-NF terms share every knob-dependent factor), so callers
+        that need all NFs should use :meth:`chain_service_rate` instead.
         """
-        nf = chain.nfs[nf_index]
-        llc = self.server.llc
-        p = self.params
-
-        pf = prefetch_efficiency(knobs.batch_size)
-        pen_eff = llc.miss_penalty_cycles * (1.0 - pf)
-        hit_eff = llc.hit_cycles * (1.0 - pf)
-
-        # Working set the chain keeps live in its allocation.
-        ws = chain.total_state_bytes + knobs.batch_size * packet_bytes
-        base_miss = capacity_miss_ratio(ws, llc_bytes, locality=p.cache_locality)
-        p_miss = float(min(1.0, base_miss * contention))
-
-        # State-table walks.
-        state_cycles = nf.state_lines_touched * p_miss * pen_eff
-        misses = nf.state_lines_touched * p_miss
-
-        # Payload access: DDIO landing for the first NF, LLC residency of
-        # the in-flight batch for the rest.
-        touched = nf.touched_lines(packet_bytes, llc.line_bytes)
-        if nf_index == 0:
-            p_hit = self.dma_model.llc_spill_hit_ratio(knobs.dma_bytes, llc_bytes)
-            p_hit = float(max(0.0, p_hit * (1.0 - p_miss * 0.5)))
-        else:
-            p_hit = 1.0 - p_miss
-        payload_cycles = touched * p.mem_factor * (
-            p_hit * hit_eff + (1.0 - p_hit) * pen_eff
+        profile = chain_profile(chain, packet_bytes, self.server.llc.line_bytes)
+        cycles, misses = self._chain_costs(
+            profile, float(knobs.batch_size), knobs.dma_bytes, llc_bytes, contention
         )
-        misses += touched * (1.0 - p_hit)
-
-        # Cold misses + per-call overheads amortized over the batch.
-        cold_cycles = p.cold_lines_per_batch * pen_eff / knobs.batch_size
-        misses += p.cold_lines_per_batch / knobs.batch_size
-        overhead = (
-            p.ring_call_cycles / knobs.batch_size
-            + p.mbuf_cycles / math.sqrt(knobs.batch_size)
-        )
-
-        cycles = nf.cycles_for_packet(packet_bytes) + overhead + state_cycles
-        cycles += payload_cycles + cold_cycles
-        if nf_index > 0:
-            cycles += p.inter_nf_handoff_cycles
-        return float(cycles), float(misses)
+        return float(cycles[nf_index]), float(misses[nf_index])
 
     # -- power ---------------------------------------------------------------
 
-    def node_power(
-        self, busy_cores: float, allocated_cores: float, freq_ghz: float
-    ) -> float:
+    def node_power(self, busy_cores, allocated_cores, freq_ghz):
         """Node power for a given busy/allocated core split.
 
         Utilization for the Fan model is the busy fraction of the whole
         socket.  Unallocated cores are parked in C6 (8% residual idle
         power) when ``park_idle_cores`` is set; otherwise they idle at
-        full C0/C1 power, as on the untuned Baseline.
+        full C0/C1 power, as on the untuned Baseline.  All three inputs
+        broadcast, so grid evaluations price power in one call.
         """
         total = float(self.server.cpu.total_cores)
-        allocated = float(min(total, max(allocated_cores, 0.0)))
-        busy = float(np.clip(busy_cores, 0.0, total))
+        if (
+            np.isscalar(busy_cores)
+            and np.isscalar(allocated_cores)
+            and np.isscalar(freq_ghz)
+        ):
+            allocated = float(min(total, max(allocated_cores, 0.0)))
+            busy = float(min(max(busy_cores, 0.0), total))
+            u = busy / total
+            parked = total - allocated
+            if self.park_idle_cores:
+                idle_fraction = (allocated + 0.08 * parked) / total
+            else:
+                idle_fraction = 1.0
+            return float(
+                self.power_model.power(u, freq_ghz, idle_fraction=idle_fraction)
+            )
+        allocated = np.minimum(total, np.maximum(allocated_cores, 0.0))
+        busy = np.clip(busy_cores, 0.0, total)
         u = busy / total
         parked = total - allocated
         if self.park_idle_cores:
             idle_fraction = (allocated + 0.08 * parked) / total
         else:
-            idle_fraction = 1.0
-        return float(self.power_model.power(u, freq_ghz, idle_fraction=idle_fraction))
+            idle_fraction = np.ones_like(np.asarray(u, dtype=np.float64))
+        out = self.power_model.power(u, freq_ghz, idle_fraction=idle_fraction)
+        return np.asarray(out)
 
     # -- chain-level -------------------------------------------------------
 
@@ -305,17 +527,13 @@ class PacketEngine:
         Each NF gets ``cpu_share`` cores at ``cpu_freq_ghz``; the chain
         rate is the slowest stage.
         """
+        profile = chain_profile(chain, packet_bytes, self.server.llc.line_bytes)
+        cycles, misses = self._chain_costs(
+            profile, float(knobs.batch_size), knobs.dma_bytes, llc_bytes, contention
+        )
         freq_hz = knobs.cpu_freq_ghz * 1e9
-        cpps: list[float] = []
-        misses: list[float] = []
-        for i in range(len(chain)):
-            cpp, m = self.nf_cycles_per_packet(
-                chain, i, knobs, packet_bytes, llc_bytes=llc_bytes, contention=contention
-            )
-            cpps.append(cpp)
-            misses.append(m)
-        rates = [knobs.cpu_share * freq_hz / cpp for cpp in cpps]
-        return min(rates), cpps, misses
+        rates = knobs.cpu_share * freq_hz / cycles
+        return float(rates.min()), [float(c) for c in cycles], [float(m) for m in misses]
 
     def step(
         self,
@@ -350,6 +568,11 @@ class PacketEngine:
         eff_llc, cat_contention = self.effective_llc_bytes(llc_bytes)
         eff_contention = cat_contention if contention is None else max(contention, cat_contention)
 
+        profile = chain_profile(chain, packet_bytes, llc.line_bytes)
+        cpps, misses_pp = self._chain_costs(
+            profile, float(knobs.batch_size), knobs.dma_bytes, eff_llc, eff_contention
+        )
+
         # 1. NIC admission (line rate).
         nic_cap = self.server.nic.max_pps(packet_bytes)
         admitted = min(offered_pps, nic_cap)
@@ -359,44 +582,44 @@ class PacketEngine:
         delivered = admitted * delivery
 
         # 3. Pipeline bottleneck.
-        chain_rate, cpps, misses_pp = self.chain_service_rate(
-            chain, knobs, packet_bytes, llc_bytes=eff_llc, contention=eff_contention
-        )
+        freq_hz = knobs.cpu_freq_ghz * 1e9
+        rates = knobs.cpu_share * freq_hz / cpps
+        chain_rate = float(rates.min())
         achieved = min(delivered, chain_rate)
 
         # 4. Receive livelock: when the first NF cannot keep up, the
         #    packets it receives and drops still cost rx cycles, eating
         #    into its packet-processing budget.
-        freq_hz = knobs.cpu_freq_ghz * 1e9
         c0_capacity = knobs.cpu_share * freq_hz
         rx = self.params.rx_drop_cycles
-        if delivered * cpps[0] > c0_capacity and cpps[0] > rx:
-            nf0_rate = max(0.0, (c0_capacity - delivered * rx) / (cpps[0] - rx))
+        cpp0 = float(cpps[0])
+        if delivered * cpp0 > c0_capacity and cpp0 > rx:
+            nf0_rate = max(0.0, (c0_capacity - delivered * rx) / (cpp0 - rx))
             achieved = min(achieved, nf0_rate)
 
         # 5. Per-NF utilization.
-        per_nf: list[NFTelemetry] = []
-        busy_cores = 0.0
-        for i, nf in enumerate(chain.nfs):
-            capacity = knobs.cpu_share * freq_hz
-            work = achieved * cpps[i]
-            if i == 0:
-                work += max(0.0, delivered - achieved) * rx
-            util = min(1.0, work / capacity) if capacity > 0 else 0.0
-            if self.polling == PollingMode.POLL:
-                util = 1.0 if knobs.cpu_share > 0 else 0.0
-            else:
-                util = min(1.0, util + self.params.adaptive_poll_overhead)
-            per_nf.append(
-                NFTelemetry(
-                    name=nf.name,
-                    cycles_per_packet=cpps[i],
-                    service_rate_pps=knobs.cpu_share * freq_hz / cpps[i],
-                    utilization=util,
-                    misses_per_packet=misses_pp[i],
-                )
+        capacity = knobs.cpu_share * freq_hz
+        work = achieved * cpps
+        work[0] = work[0] + max(0.0, delivered - achieved) * rx
+        if capacity > 0:
+            util = np.minimum(1.0, work / capacity)
+        else:
+            util = np.zeros_like(work)
+        if self.polling == PollingMode.POLL:
+            util = np.full_like(util, 1.0 if knobs.cpu_share > 0 else 0.0)
+        else:
+            util = np.minimum(1.0, util + self.params.adaptive_poll_overhead)
+        busy_cores = float(np.sum(knobs.cpu_share * util))
+        per_nf = [
+            NFTelemetry(
+                name=profile.names[i],
+                cycles_per_packet=float(cpps[i]),
+                service_rate_pps=float(rates[i]),
+                utilization=float(util[i]),
+                misses_per_packet=float(misses_pp[i]),
             )
-            busy_cores += knobs.cpu_share * util
+            for i in range(len(profile))
+        ]
 
         # Infrastructure (Rx/Tx) threads.
         infra_util = (
@@ -425,11 +648,11 @@ class PacketEngine:
             energy_j = 0.0
 
         # 7. Diagnostics.
-        total_misses_pp = float(sum(misses_pp))
+        total_misses_pp = float(np.sum(misses_pp))
         miss_rate = achieved * total_misses_pp
         dropped = max(0.0, offered_pps - achieved)
         # Latency: batch fill time + per-NF processing + queueing headroom.
-        proc_s = sum(cpps) / freq_hz if freq_hz > 0 else float("inf")
+        proc_s = float(np.sum(cpps)) / freq_hz if freq_hz > 0 else float("inf")
         fill_s = knobs.batch_size / max(achieved, 1.0)
         utilization_peak = (
             min(1.0, achieved / chain_rate) if chain_rate > 0 else 1.0
@@ -452,6 +675,178 @@ class PacketEngine:
             latency_s=latency_s,
             arrival_rate_pps=offered_pps,
             per_nf=per_nf,
+        )
+
+    def step_batch(
+        self,
+        chain: ServiceChain,
+        knobs_grid,
+        offered_grid,
+        packet_bytes: float,
+        dt_s: float = 1.0,
+        *,
+        llc_bytes=None,
+        contention=None,
+        include_power: bool = True,
+    ) -> BatchTelemetry:
+        """Evaluate K knob settings x L offered loads in one call.
+
+        Parameters
+        ----------
+        knobs_grid:
+            Sequence of :class:`KnobSettings` or a ``(K, 5)`` array in
+            :meth:`KnobSettings.as_array` layout.
+        offered_grid:
+            Offered packet rates, shape ``(L,)`` (scalars are promoted).
+        llc_bytes:
+            Requested LLC capacity override — scalar or per-knob ``(K,)``
+            array; default derives it from each setting's
+            ``llc_fraction``.
+        contention:
+            Cross-chain miss multiplier — scalar or per-knob ``(K,)``.
+
+        Returns a :class:`BatchTelemetry` whose grid arrays have shape
+        ``(K, L)``.  Every point is numerically equivalent to the
+        corresponding :meth:`step` call.
+        """
+        if packet_bytes <= 0 or dt_s <= 0:
+            raise ValueError("packet size/dt must be positive")
+        offered = np.atleast_1d(np.asarray(offered_grid, dtype=np.float64))
+        if offered.ndim != 1:
+            raise ValueError("offered grid must be one-dimensional")
+        if np.any(offered < 0):
+            raise ValueError("offered rates must be non-negative")
+        share, freq, llc_frac, dma_bytes, batch = _knob_arrays(knobs_grid)
+
+        llc = self.server.llc
+        if llc_bytes is None:
+            llc_req = llc_frac * llc.way_bytes * llc.allocatable_ways
+        else:
+            llc_req = np.broadcast_to(
+                np.asarray(llc_bytes, dtype=np.float64), share.shape
+            )
+        eff_llc, cat_contention = self.effective_llc_bytes(llc_req)
+        if contention is None:
+            eff_contention = np.broadcast_to(
+                np.asarray(cat_contention, dtype=np.float64), share.shape
+            )
+        else:
+            eff_contention = np.maximum(
+                np.broadcast_to(np.asarray(contention, dtype=np.float64), share.shape),
+                cat_contention,
+            )
+
+        profile = chain_profile(chain, packet_bytes, llc.line_bytes)
+        n = len(profile)
+        # Knob columns as (K, 1) so the NF axis broadcasts last.
+        cpps, misses_pp = self._chain_costs(
+            profile,
+            batch[:, None],
+            dma_bytes[:, None],
+            np.asarray(eff_llc, dtype=np.float64)[:, None],
+            eff_contention[:, None],
+        )
+
+        # 1. NIC admission (line rate).
+        nic_cap = self.server.nic.max_pps(packet_bytes)
+        admitted = np.minimum(offered, nic_cap)
+
+        # 2. Rx-ring delivery (DMA buffer absorption).
+        delivery = self.dma_model.delivery_ratio(
+            dma_bytes[:, None], packet_bytes, admitted[None, :]
+        )
+        delivered = admitted[None, :] * delivery  # (K, L)
+
+        # 3. Pipeline bottleneck.
+        freq_hz = freq * 1e9
+        capacity = share * freq_hz  # (K,)
+        rates = capacity[:, None] / cpps  # (K, n)
+        chain_rate = rates.min(axis=1)  # (K,)
+        achieved = np.minimum(delivered, chain_rate[:, None])
+
+        # 4. Receive livelock.
+        rx = self.params.rx_drop_cycles
+        cpp0 = cpps[:, 0]
+        livelock = (delivered * cpp0[:, None] > capacity[:, None]) & (cpp0 > rx)[:, None]
+        denom = np.where(cpp0 > rx, cpp0 - rx, 1.0)
+        nf0_rate = np.maximum(
+            0.0, (capacity[:, None] - delivered * rx) / denom[:, None]
+        )
+        achieved = np.where(livelock, np.minimum(achieved, nf0_rate), achieved)
+
+        # 5. Per-NF utilization.
+        work = achieved[:, :, None] * cpps[:, None, :]  # (K, L, n)
+        work[:, :, 0] = work[:, :, 0] + np.maximum(0.0, delivered - achieved) * rx
+        cap3 = capacity[:, None, None]
+        util = np.where(
+            cap3 > 0, np.minimum(1.0, work / np.where(cap3 > 0, cap3, 1.0)), 0.0
+        )
+        if self.polling == PollingMode.POLL:
+            util = np.broadcast_to(
+                np.where(share > 0, 1.0, 0.0)[:, None, None], work.shape
+            ).copy()
+        else:
+            util = np.minimum(1.0, util + self.params.adaptive_poll_overhead)
+        busy_cores = np.sum(share[:, None, None] * util, axis=2)  # (K, L)
+
+        # Infrastructure (Rx/Tx) threads.
+        infra_util = (
+            self.params.infra_util_poll
+            if self.polling == PollingMode.POLL
+            else self.params.infra_util_adaptive
+        )
+        infra_busy = self.params.infra_cores * infra_util
+        allocated_cores = share * n + self.params.infra_cores  # (K,)
+        total_busy = busy_cores + infra_busy
+
+        # 6. Node power (one vectorized Fan-model evaluation).
+        cpu_utilization = np.minimum(1.0, total_busy / allocated_cores[:, None])
+        if include_power:
+            power_w = self.node_power(
+                total_busy,
+                np.broadcast_to(allocated_cores[:, None], total_busy.shape),
+                np.broadcast_to(freq[:, None], total_busy.shape),
+            )
+            energy_j = power_w * dt_s
+        else:
+            power_w = np.zeros_like(total_busy)
+            energy_j = np.zeros_like(total_busy)
+
+        # 7. Diagnostics.
+        total_misses_pp = np.sum(misses_pp, axis=1)  # (K,)
+        miss_rate = achieved * total_misses_pp[:, None]
+        dropped = np.maximum(0.0, offered[None, :] - achieved)
+        proc_s = np.where(freq_hz > 0, np.sum(cpps, axis=1) / np.where(freq_hz > 0, freq_hz, 1.0), np.inf)
+        fill_s = batch[:, None] / np.maximum(achieved, 1.0)
+        utilization_peak = np.where(
+            chain_rate[:, None] > 0,
+            np.minimum(1.0, achieved / np.where(chain_rate[:, None] > 0, chain_rate[:, None], 1.0)),
+            1.0,
+        )
+        queue_s = proc_s[:, None] * utilization_peak / np.maximum(
+            1e-6, 1.0 - np.minimum(utilization_peak, 0.999)
+        )
+        latency_s = fill_s + proc_s[:, None] + queue_s
+
+        return BatchTelemetry(
+            dt_s=dt_s,
+            packet_bytes=packet_bytes,
+            offered_pps=offered,
+            achieved_pps=achieved,
+            throughput_gbps=pps_to_gbps(achieved, packet_bytes),
+            llc_miss_rate_per_s=miss_rate,
+            cpu_utilization=cpu_utilization,
+            cpu_cores_busy=total_busy,
+            power_w=power_w,
+            energy_j=energy_j,
+            dropped_pps=dropped,
+            latency_s=latency_s,
+            chain_rate_pps=chain_rate,
+            cycles_per_packet=cpps,
+            misses_per_packet=misses_pp,
+            service_rate_pps=rates,
+            nf_utilization=util,
+            nf_names=profile.names,
         )
 
     def fixed_volume_energy(

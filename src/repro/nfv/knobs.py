@@ -98,17 +98,21 @@ class KnobSettings:
         requested values become the nearest configuration the hardware
         supports.
         """
-        freq = float(np.clip(self.cpu_freq_ghz, ranges.min_freq_ghz, ranges.max_freq_ghz))
+        freq = float(min(max(self.cpu_freq_ghz, ranges.min_freq_ghz), ranges.max_freq_ghz))
         if cpu is not None:
             freq = cpu.clamp_frequency(freq)
         return KnobSettings(
-            cpu_share=float(np.clip(self.cpu_share, ranges.min_cpu_share, ranges.max_cpu_share)),
+            cpu_share=float(
+                min(max(self.cpu_share, ranges.min_cpu_share), ranges.max_cpu_share)
+            ),
             cpu_freq_ghz=freq,
             llc_fraction=float(
-                np.clip(self.llc_fraction, ranges.min_llc_fraction, ranges.max_llc_fraction)
+                min(max(self.llc_fraction, ranges.min_llc_fraction), ranges.max_llc_fraction)
             ),
-            dma_mb=float(np.clip(self.dma_mb, ranges.min_dma_mb, ranges.max_dma_mb)),
-            batch_size=int(np.clip(round(self.batch_size), ranges.min_batch, ranges.max_batch)),
+            dma_mb=float(min(max(self.dma_mb, ranges.min_dma_mb), ranges.max_dma_mb)),
+            batch_size=int(
+                min(max(round(self.batch_size), ranges.min_batch), ranges.max_batch)
+            ),
         )
 
     def with_updates(self, **kwargs) -> "KnobSettings":

@@ -65,8 +65,22 @@ class Node:
         self.park_idle_cores = park_idle_cores
         self.meter = EnergyMeter()
         self._chains: dict[str, HostedChain] = {}
+        self._last_grants: dict[str, int] | None = None
 
     # -- deployment --------------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to the freshly-constructed state without reallocating.
+
+        Undeploys every chain, clears the CAT partitioning and zeroes the
+        energy meter, but keeps the (comparatively expensive) engine,
+        power/DMA models and DVFS controller.  Environments call this
+        between episodes instead of building a new :class:`Node`.
+        """
+        self._chains.clear()
+        self.cache.clear()
+        self.meter.reset()
+        self._last_grants = None
 
     @property
     def chains(self) -> dict[str, HostedChain]:
@@ -113,7 +127,16 @@ class Node:
         if not self._chains:
             return
         shares = {n: h.knobs.llc_fraction for n, h in self._chains.items()}
-        total_ways = sum(self.cache.ways_for_fraction(f) for f in shares.values())
+        grants = {n: self.cache.ways_for_fraction(f) for n, f in shares.items()}
+        total_ways = sum(grants.values())
+        if total_ways <= self.server.llc.allocatable_ways:
+            # CAT grants whole ways, so nearby fractions collapse onto the
+            # same way split; skip the CLOS rebuild when nothing moves.
+            if grants == self._last_grants:
+                return
+            self._last_grants = grants
+        else:
+            self._last_grants = None
         if total_ways > self.server.llc.allocatable_ways:
             scale = self.server.llc.allocatable_ways / total_ways
             shares = {n: max(1e-6, f * scale) for n, f in shares.items()}
@@ -205,7 +228,7 @@ class Node:
 
         # Node power: one Fan-model evaluation over the union of chains.
         freqs = [h.knobs.cpu_freq_ghz for h in self._chains.values()]
-        freq = float(np.mean(freqs)) if freqs else self.server.cpu.base_freq_ghz
+        freq = sum(freqs) / len(freqs) if freqs else self.server.cpu.base_freq_ghz
         power_w = self.engine.node_power(busy_cores_total, allocated_total, freq)
         energy_j = power_w * dt_s
         self.meter.record(power_w, dt_s, sum(s.achieved_pps * dt_s for s in samples.values()))

@@ -160,8 +160,11 @@ class ApexLearner:
 
     def ingest(self, experiences: list[tuple[Transition, float]]) -> None:
         """Store actor-shipped experiences with their initial priorities."""
-        for t, p in experiences:
-            self.replay.add(t, p)
+        if not experiences:
+            return
+        transitions = [t for t, _ in experiences]
+        priorities = [p for _, p in experiences]
+        self.replay.extend(transitions, priorities)
 
     def learn(self, n_steps: int) -> None:
         """Run ``n_steps`` prioritized updates (Algorithm 3 lines 14-18)."""

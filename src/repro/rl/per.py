@@ -11,13 +11,19 @@ is replayed at least once — and, as in Ape-X, actors may attach initial
 priorities computed locally so the learner doesn't need a first pass.
 The buffer also supports the "periodically remove the old experiences"
 step of Algorithm 3 via FIFO eviction.
+
+Transitions live in a preallocated struct-of-arrays ring
+(:class:`~repro.rl.replay.TransitionStore`), so ``sample`` is fancy
+indexing plus one batched tree descent, ``extend`` is one block write
+plus one batched tree update, and ``update_priorities`` is a single
+:meth:`~repro.rl.sumtree.SumTree.set_many`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.rl.replay import Transition, TransitionBatch
+from repro.rl.replay import Transition, TransitionBatch, TransitionStore
 from repro.rl.sumtree import SumTree
 from repro.utils.rng import RngLike, as_generator
 
@@ -49,7 +55,8 @@ class PrioritizedReplayBuffer:
         self.beta_steps = beta_steps
         self.eps = eps
         self._tree = SumTree(self.capacity)
-        self._storage: list[Transition | None] = [None] * self.capacity
+        self._store = TransitionStore(self.capacity)
+        self._valid = np.zeros(self.capacity, dtype=bool)
         self._next = 0
         self._size = 0
         self._max_priority = 1.0
@@ -75,7 +82,8 @@ class PrioritizedReplayBuffer:
         raw = max(raw, self.eps)
         self._max_priority = max(self._max_priority, raw)
         slot = self._next
-        self._storage[slot] = transition
+        self._store.put(slot, transition)
+        self._valid[slot] = True
         self._tree.set(slot, raw**self.alpha)
         self._next = (self._next + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
@@ -84,14 +92,36 @@ class PrioritizedReplayBuffer:
     def extend(
         self, transitions: list[Transition], priorities: list[float] | None = None
     ) -> list[int]:
-        """Bulk insert (an actor flushing its local buffer)."""
+        """Bulk insert (an actor flushing its local buffer).
+
+        One struct-of-arrays block write plus one batched
+        :meth:`SumTree.set_many`; equivalent to adding one at a time.
+        """
         if priorities is not None and len(priorities) != len(transitions):
             raise ValueError("priorities must align with transitions")
-        slots = []
-        for i, t in enumerate(transitions):
-            p = None if priorities is None else priorities[i]
-            slots.append(self.add(t, p))
-        return slots
+        n = len(transitions)
+        if n == 0:
+            return []
+        if n > self.capacity:
+            # A full wrap: fall back to the sequential path so repeated
+            # ring slots overwrite in insertion order.
+            slots = []
+            for i, t in enumerate(transitions):
+                p = None if priorities is None else priorities[i]
+                slots.append(self.add(t, p))
+            return slots
+        if priorities is None:
+            raws = np.full(n, max(self._max_priority, self.eps), dtype=np.float64)
+        else:
+            raws = np.maximum(np.abs(np.asarray(priorities, dtype=np.float64)), self.eps)
+            self._max_priority = max(self._max_priority, float(raws.max()))
+        slots = (np.arange(n) + self._next) % self.capacity
+        self._store.put_many(slots, transitions)
+        self._valid[slots] = True
+        self._tree.set_many(slots, raws**self.alpha)
+        self._next = (self._next + n) % self.capacity
+        self._size = min(self._size + n, self.capacity)
+        return [int(s) for s in slots]
 
     def sample(self, batch_size: int) -> TransitionBatch:
         """Draw a prioritized minibatch with IS weights (max-normalized)."""
@@ -102,22 +132,13 @@ class PrioritizedReplayBuffer:
         idx = self._tree.sample(batch_size, self._rng)
         self._samples_drawn += batch_size
         total = self._tree.total
-        probs = np.asarray([self._tree.get(int(i)) for i in idx]) / total
+        probs = self._tree.get_many(idx) / total
         n = self._size
         weights = np.power(n * np.maximum(probs, 1e-12), -self.beta)
         weights /= weights.max()
-        items = [self._storage[int(i)] for i in idx]
-        if any(t is None for t in items):  # pragma: no cover - defensive
+        if not self._valid[idx].all():  # pragma: no cover - defensive
             raise RuntimeError("sampled an empty slot; tree/storage out of sync")
-        return TransitionBatch(
-            states=np.stack([t.state for t in items]),  # type: ignore[union-attr]
-            actions=np.stack([t.action for t in items]),  # type: ignore[union-attr]
-            rewards=np.asarray([t.reward for t in items], dtype=np.float64),  # type: ignore[union-attr]
-            next_states=np.stack([t.next_state for t in items]),  # type: ignore[union-attr]
-            dones=np.asarray([t.done for t in items], dtype=np.float64),  # type: ignore[union-attr]
-            indices=np.asarray(idx, dtype=np.int64),
-            weights=weights,
-        )
+        return self._store.gather(idx, weights)
 
     def update_priorities(self, indices: np.ndarray, td_errors: np.ndarray) -> None:
         """Refresh priorities after a learner step (Algorithm 3 line 15-17)."""
@@ -125,10 +146,11 @@ class PrioritizedReplayBuffer:
         td_errors = np.asarray(td_errors, dtype=np.float64)
         if indices.shape != td_errors.shape:
             raise ValueError("indices and td_errors must align")
-        for slot, err in zip(indices, td_errors):
-            raw = max(abs(float(err)), self.eps)
-            self._max_priority = max(self._max_priority, raw)
-            self._tree.set(int(slot), raw**self.alpha)
+        if indices.size == 0:
+            return
+        raws = np.maximum(np.abs(td_errors), self.eps)
+        self._max_priority = max(self._max_priority, float(raws.max()))
+        self._tree.set_many(np.asarray(indices, dtype=np.int64), raws**self.alpha)
 
     def evict_oldest(self, n: int) -> int:
         """Remove up to ``n`` of the oldest experiences.
@@ -143,12 +165,18 @@ class PrioritizedReplayBuffer:
         evicted = 0
         # Oldest slots are the ones the ring pointer will overwrite next.
         probe = self._next if self._size == self.capacity else 0
+        evict_slots = []
         for _ in range(min(n, self._size)):
-            while self._storage[probe] is None:
+            while not self._valid[probe]:
                 probe = (probe + 1) % self.capacity
-            self._storage[probe] = None
-            self._tree.set(probe, 0.0)
+            self._valid[probe] = False
+            evict_slots.append(probe)
             probe = (probe + 1) % self.capacity
             self._size -= 1
             evicted += 1
+        if evict_slots:
+            self._tree.set_many(
+                np.asarray(evict_slots, dtype=np.int64),
+                np.zeros(len(evict_slots), dtype=np.float64),
+            )
         return evicted

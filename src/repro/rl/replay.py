@@ -4,6 +4,11 @@
 sampling from the stored experiences means they are less heavily
 'correlated' and can be reused for learning."  This is the plain ring
 buffer variant; the prioritized version lives in :mod:`repro.rl.per`.
+
+Storage is struct-of-arrays: preallocated ring buffers per field (states,
+actions, rewards, next states, dones), sized on the first insert once the
+state/action shapes are known.  ``sample`` is then pure fancy indexing —
+no per-transition Python objects are touched on the learner's hot path.
 """
 
 from __future__ import annotations
@@ -42,6 +47,67 @@ class TransitionBatch:
         return self.states.shape[0]
 
 
+class TransitionStore:
+    """Preallocated struct-of-arrays ring storage shared by the buffers.
+
+    Column arrays are allocated lazily on the first :meth:`put`, when the
+    state/action shapes and dtypes are known.  Rows are addressed by slot
+    index; eviction policy (ring pointer, validity) belongs to the owning
+    buffer.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self.states: np.ndarray | None = None
+        self.actions: np.ndarray | None = None
+        self.rewards = np.zeros(self.capacity, dtype=np.float64)
+        self.next_states: np.ndarray | None = None
+        self.dones = np.zeros(self.capacity, dtype=np.float64)
+
+    def _ensure(self, state: np.ndarray, action: np.ndarray) -> None:
+        if self.states is not None:
+            return
+        state = np.asarray(state)
+        action = np.asarray(action)
+        self.states = np.zeros((self.capacity, *state.shape), dtype=state.dtype)
+        self.actions = np.zeros((self.capacity, *action.shape), dtype=action.dtype)
+        self.next_states = np.zeros_like(self.states)
+
+    def put(self, slot: int, t: Transition) -> None:
+        """Write one transition into ``slot``."""
+        self._ensure(t.state, t.action)
+        self.states[slot] = t.state
+        self.actions[slot] = t.action
+        self.rewards[slot] = t.reward
+        self.next_states[slot] = t.next_state
+        self.dones[slot] = float(t.done)
+
+    def put_many(self, slots: np.ndarray, transitions: list[Transition]) -> None:
+        """Write a batch of transitions (``slots`` must be duplicate-free)."""
+        if not transitions:
+            return
+        self._ensure(transitions[0].state, transitions[0].action)
+        self.states[slots] = np.stack([t.state for t in transitions])
+        self.actions[slots] = np.stack([t.action for t in transitions])
+        self.rewards[slots] = [t.reward for t in transitions]
+        self.next_states[slots] = np.stack([t.next_state for t in transitions])
+        self.dones[slots] = [float(t.done) for t in transitions]
+
+    def gather(self, idx: np.ndarray, weights: np.ndarray) -> TransitionBatch:
+        """Fancy-index a minibatch; copies, so training can't alias the ring."""
+        if self.states is None:
+            raise RuntimeError("cannot gather from empty storage")
+        return TransitionBatch(
+            states=self.states[idx],
+            actions=self.actions[idx],
+            rewards=self.rewards[idx],
+            next_states=self.next_states[idx],
+            dones=self.dones[idx],
+            indices=np.asarray(idx, dtype=np.int64),
+            weights=weights,
+        )
+
+
 class ReplayBuffer:
     """Fixed-capacity FIFO replay buffer with uniform sampling."""
 
@@ -49,53 +115,49 @@ class ReplayBuffer:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._storage: list[Transition] = []
+        self._store = TransitionStore(self.capacity)
+        self._size = 0
         self._next = 0
         self._rng = as_generator(rng)
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     @property
     def full(self) -> bool:
         """True when the buffer has wrapped at least once."""
-        return len(self._storage) == self.capacity
+        return self._size == self.capacity
 
     def add(self, transition: Transition) -> None:
         """Insert one transition, evicting the oldest when full."""
-        if len(self._storage) < self.capacity:
-            self._storage.append(transition)
-        else:
-            self._storage[self._next] = transition
+        self._store.put(self._next, transition)
+        self._size = min(self._size + 1, self.capacity)
         self._next = (self._next + 1) % self.capacity
 
     def extend(self, transitions: list[Transition]) -> None:
         """Insert a batch of transitions (actor local-buffer flush)."""
-        for t in transitions:
-            self.add(t)
+        n = len(transitions)
+        if n == 0:
+            return
+        if n >= self.capacity:
+            # Only the last ``capacity`` survive a full wrap.
+            transitions = transitions[-self.capacity :]
+            n = len(transitions)
+        slots = (np.arange(n) + self._next) % self.capacity
+        self._store.put_many(slots, transitions)
+        self._size = min(self._size + n, self.capacity)
+        self._next = (self._next + n) % self.capacity
 
     def sample(self, batch_size: int) -> TransitionBatch:
         """Uniformly sample ``batch_size`` transitions with replacement."""
         if batch_size < 1:
             raise ValueError("batch size must be >= 1")
-        if not self._storage:
+        if self._size == 0:
             raise RuntimeError("cannot sample from an empty buffer")
-        idx = self._rng.integers(0, len(self._storage), size=batch_size)
-        return self._gather(idx)
-
-    def _gather(self, idx: np.ndarray) -> TransitionBatch:
-        items = [self._storage[i] for i in idx]
-        return TransitionBatch(
-            states=np.stack([t.state for t in items]),
-            actions=np.stack([t.action for t in items]),
-            rewards=np.asarray([t.reward for t in items], dtype=np.float64),
-            next_states=np.stack([t.next_state for t in items]),
-            dones=np.asarray([t.done for t in items], dtype=np.float64),
-            indices=np.asarray(idx, dtype=np.int64),
-            weights=np.ones(len(items), dtype=np.float64),
-        )
+        idx = self._rng.integers(0, self._size, size=batch_size)
+        return self._store.gather(idx, np.ones(batch_size, dtype=np.float64))
 
     def clear(self) -> None:
         """Drop all stored transitions."""
-        self._storage.clear()
+        self._size = 0
         self._next = 0

@@ -23,7 +23,7 @@ so adding a controller means registering one class::
             ...
 
 The built-in ids are ``ddpg``, ``apex``, ``qlearning`` (learned) and
-``static``, ``heuristic``, ``ee-pstate`` (rule-based).
+``static``, ``heuristic``, ``ee-pstate``, ``oracle-static`` (rule-based).
 """
 
 from __future__ import annotations
@@ -35,6 +35,7 @@ from typing import Any, Callable
 from repro.baselines import (
     EEPstateController,
     HeuristicController,
+    OracleStaticController,
     StaticBaseline,
     run_controller,
 )
@@ -377,3 +378,16 @@ class EEPstateScenarioController(RuleController):
 
     id = "ee-pstate"
     factory = EEPstateController
+
+
+@CONTROLLERS.register("oracle-static")
+class OracleStaticScenarioController(RuleController):
+    """Vectorized grid-search upper bound for static configurations.
+
+    One ``step_batch`` sweep over the knob grid picks the best fixed
+    setting for the observed workload (options: ``objective``, ``grid``,
+    ``min_delivery``; see :class:`OracleStaticController`).
+    """
+
+    id = "oracle-static"
+    factory = OracleStaticController

@@ -242,6 +242,44 @@ def run(
     return result
 
 
+# -- batched grid scans --------------------------------------------------------
+
+
+def scan_knob_grid(
+    spec: ScenarioSpec,
+    knobs_grid,
+    offered_grid=None,
+    *,
+    packet_bytes: float | None = None,
+):
+    """Evaluate a knob grid against a spec's workload in one vectorized call.
+
+    Materializes the spec's chain, engine parameters and traffic model,
+    then hands the whole K-knob x L-load grid to
+    :meth:`~repro.nfv.engine.PacketEngine.step_batch`.  When
+    ``offered_grid`` is omitted, the spec's traffic model supplies one
+    representative interval load.  This is the open-loop surface scan
+    behind knob-search baselines and capacity studies — thousands of
+    candidate configurations in a single engine invocation, no
+    controller in the loop.
+
+    Returns the :class:`~repro.nfv.engine.BatchTelemetry` for the grid.
+    """
+    from repro.nfv.engine import PacketEngine
+
+    ctx = build_context(spec)
+    rng = ctx.streams.stream("knob-scan")
+    generator = ctx.generator_factory(rng)
+    if packet_bytes is None:
+        packet_bytes = generator.packet_sizes.mean_bytes
+    if offered_grid is None:
+        offered_grid = [generator.rate_at(0.0, spec.interval_s, rng)]
+    engine = PacketEngine(params=ctx.engine_params)
+    return engine.step_batch(
+        ctx.chain, knobs_grid, offered_grid, packet_bytes, spec.interval_s
+    )
+
+
 # -- parallel sweeps -----------------------------------------------------------
 
 

@@ -1,0 +1,93 @@
+"""Harness tests for the benchmarks/perf suite (no timing runs).
+
+The benchmark module itself is exercised by CI's perf-smoke job; here we
+pin the regression-check logic and the committed baseline's integrity so
+a malformed baseline or a broken gate fails fast in the tier-1 suite.
+"""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks" / "perf"
+
+
+@pytest.fixture(scope="module")
+def bench_mod():
+    spec = importlib.util.spec_from_file_location(
+        "bench_hotpath", BENCH_DIR / "bench_hotpath.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["bench_hotpath"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def _result(slice_speedup=2.5, grid_speedup=30.0, seconds=0.1, mode="quick", calib=0.05):
+    return {
+        "format_version": 1,
+        "mode": mode,
+        "calibration_seconds": calib,
+        "benches": {
+            "engine_batch_grid": {
+                "seconds": seconds,
+                "speedup": grid_speedup,
+                "criterion_min_speedup": 5.0,
+            },
+            "training_slice": {
+                "seconds": seconds,
+                "speedup": slice_speedup,
+                "criterion_min_speedup": 2.0,
+            },
+        },
+    }
+
+
+class TestCheckAgainst:
+    def test_passes_within_envelope(self, bench_mod):
+        assert bench_mod.check_against(_result(), _result(), 2.0) == []
+
+    def test_fails_on_slowdown(self, bench_mod):
+        slow = _result(seconds=0.5)
+        problems = bench_mod.check_against(slow, _result(seconds=0.1), 2.0)
+        assert len(problems) == 2
+        assert all("baseline" in p for p in problems)
+
+    def test_fails_on_missed_criterion(self, bench_mod):
+        bad = _result(slice_speedup=1.0)
+        problems = bench_mod.check_against(bad, _result(), 2.0)
+        assert any("criterion" in p for p in problems)
+
+    def test_criterion_has_noise_tolerance(self, bench_mod):
+        near = _result(slice_speedup=2.0 * bench_mod.CRITERION_TOLERANCE + 0.01)
+        assert bench_mod.check_against(near, _result(), 2.0) == []
+
+    def test_mode_mismatch_skips_seconds(self, bench_mod):
+        slow = _result(seconds=0.5)
+        base = _result(seconds=0.1, mode="full")
+        assert bench_mod.check_against(slow, base, 2.0) == []
+
+    def test_slow_machine_is_not_a_regression(self, bench_mod):
+        # 5x slower wall clock, but the calibration workload is 5x slower
+        # too -> normalized seconds unchanged -> no regression.
+        slow_box = _result(seconds=0.5, calib=0.25)
+        assert bench_mod.check_against(slow_box, _result(), 2.0) == []
+
+    def test_missing_baseline_bench_ignored(self, bench_mod):
+        base = _result()
+        del base["benches"]["training_slice"]
+        assert bench_mod.check_against(_result(seconds=0.5), base, 2.0) != []
+
+
+class TestCommittedBaseline:
+    def test_baseline_parses_and_meets_criteria(self, bench_mod):
+        path = BENCH_DIR / "BENCH_hotpath.json"
+        baseline = json.loads(path.read_text())
+        assert baseline["format_version"] == bench_mod.FORMAT_VERSION
+        assert set(bench_mod.BENCHES) <= set(baseline["benches"])
+        for name, minimum in bench_mod.CRITERIA.items():
+            assert baseline["benches"][name]["speedup"] >= minimum, name
