@@ -9,6 +9,10 @@ PRs:
 * ``engine_batch_grid`` — a K-knob x L-load grid through ``step_batch``
   vs. the same grid through scalar ``step`` calls (the vectorization
   payoff for figure scans / knob searches; criterion: >= 5x);
+* ``multi_chain_grid`` — a node hosting many chains stepped through the
+  one-pass ``Node.step_all`` kernel vs. the seed per-chain scalar
+  ``Node.step`` loop (the multi-chain env / SDN scaling payoff;
+  criterion: >= 5x);
 * ``replay_add_sample`` — prioritized add/sample/update against the
   seed's list + per-leaf-walk implementation (kept in ``reference.py``);
 * ``training_slice`` — a short end-to-end DDPG run vs. the same run with
@@ -59,7 +63,11 @@ from repro.utils.units import line_rate_pps
 FORMAT_VERSION = 1
 
 #: Minimum acceptable in-run speedups (vectorized vs. reference loop).
-CRITERIA = {"engine_batch_grid": 5.0, "training_slice": 2.0}
+CRITERIA = {
+    "engine_batch_grid": 5.0,
+    "multi_chain_grid": 5.0,
+    "training_slice": 2.0,
+}
 
 
 def _best_of(fn, rounds: int) -> float:
@@ -146,6 +154,59 @@ def bench_engine_batch_grid(quick: bool, rounds: int) -> dict:
         "loop_seconds": loop_s,
         "speedup": loop_s / vec_s,
         "points_per_second": K * L / vec_s,
+    }
+
+
+def _multi_chain_node(n_chains: int) -> tuple:
+    """A node hosting ``n_chains`` heterogeneous chains + its offered map."""
+    from repro.nfv.chain import default_chain, heavy_chain, light_chain
+    from repro.nfv.node import Node
+
+    rng = np.random.default_rng(7)
+    node = Node()
+    offered = {}
+    kinds = (default_chain, light_chain, heavy_chain)
+    pkts = (64.0, 512.0, 1518.0)
+    for i in range(n_chains):
+        chain = kinds[i % len(kinds)](f"c{i}")
+        node.deploy(
+            chain,
+            KnobSettings(
+                cpu_share=float(rng.uniform(0.3, 1.5)),
+                cpu_freq_ghz=float(rng.uniform(1.2, 2.1)),
+                llc_fraction=float(rng.uniform(0.05, 1.0 / n_chains)),
+                dma_mb=float(rng.uniform(1.0, 40.0)),
+                batch_size=int(rng.integers(1, 257)),
+            ),
+        )
+        offered[chain.name] = (float(rng.uniform(1e5, 2e6)), pkts[i % len(pkts)])
+    return node, offered
+
+
+def bench_multi_chain_grid(quick: bool, rounds: int) -> dict:
+    """C hosted chains per interval: ``Node.step_all`` vs. the scalar loop."""
+    n_chains = 12 if quick else 16
+    n_steps = 40 if quick else 80
+    kernel_node, offered = _multi_chain_node(n_chains)
+    loop_node, _ = _multi_chain_node(n_chains)
+
+    def kernel():
+        for _ in range(n_steps):
+            kernel_node.step_all(offered)
+
+    def loop():
+        for _ in range(n_steps):
+            reference.reference_node_step(loop_node, offered)
+
+    kernel_s = _best_of(kernel, rounds)
+    loop_s = _best_of(loop, max(1, rounds - 1))
+    return {
+        "seconds": kernel_s,
+        "chains": n_chains,
+        "steps": n_steps,
+        "reference_seconds": loop_s,
+        "speedup": loop_s / kernel_s,
+        "chain_steps_per_second": n_chains * n_steps / kernel_s,
     }
 
 
@@ -253,6 +314,7 @@ def bench_training_slice(quick: bool, rounds: int) -> dict:
 BENCHES = {
     "engine_step": bench_engine_step,
     "engine_batch_grid": bench_engine_batch_grid,
+    "multi_chain_grid": bench_multi_chain_grid,
     "replay_add_sample": bench_replay,
     "training_slice": bench_training_slice,
 }

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro run <spec.json | preset>   # one declarative scenario
     python -m repro sweep <specs.json | preset> --jobs 4 --out-dir results
+    python -m repro scan <spec.json | preset>  # vectorized knob-grid scan
     python -m repro fig <id> [--quick]         # a paper-figure harness
     python -m repro list                       # everything runnable
 
@@ -29,6 +30,8 @@ from repro.experiments.registry import EXPERIMENTS, QUICK_BUDGETS
 from repro.scenario import (
     CHAINS,
     CONTROLLERS,
+    GRIDS,
+    SCAN_OBJECTIVES,
     SCENARIOS,
     SLAS,
     SWEEPS,
@@ -37,10 +40,12 @@ from repro.scenario import (
     SweepRunner,
     quick_spec,
     run,
+    scan_knob_grid,
+    scan_report,
 )
 from repro.utils.tables import render_table
 
-_SUBCOMMANDS = ("run", "sweep", "fig", "list")
+_SUBCOMMANDS = ("run", "sweep", "scan", "fig", "list")
 
 
 def _load_spec(source: str) -> ScenarioSpec:
@@ -126,6 +131,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scan(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    if args.top < 1:
+        raise ValueError("--top must be >= 1")
+    if args.loads is not None and any(l < 0 for l in args.loads):
+        raise ValueError("--loads must be non-negative")
+    if args.packet_bytes is not None and any(p <= 0 for p in args.packet_bytes):
+        raise ValueError("--packet-bytes must be positive")
+    grid = GRIDS.get(args.grid)()
+    packet_bytes = args.packet_bytes
+    if packet_bytes is not None and len(packet_bytes) == 1:
+        packet_bytes = packet_bytes[0]
+    telemetry = scan_knob_grid(
+        spec, grid, offered_grid=args.loads, packet_bytes=packet_bytes
+    )
+    payload = scan_report(
+        spec, grid, telemetry, objective=args.objective, top=args.top,
+        min_delivery=args.min_delivery,
+    )
+    rows = [
+        [
+            r["rank"],
+            r["knobs"]["cpu_share"],
+            r["knobs"]["cpu_freq_ghz"],
+            r["knobs"]["llc_fraction"],
+            r["knobs"]["dma_mb"],
+            r["knobs"]["batch_size"],
+            r["score"],
+            r["mean_throughput_gbps"],
+            r["mean_energy_j"],
+        ]
+        for r in payload["results"]
+    ]
+    print(
+        render_table(
+            ["#", "share", "GHz", "llc", "dma MB", "batch", "score", "T (Gbps)", "E (J)"],
+            rows,
+            title=(
+                f"scan {spec.name!r}: top {len(rows)} of {payload['grid_size']} "
+                f"candidates by {args.objective}"
+            ),
+        )
+    )
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"\n(scan artifact written to {args.out})")
+    return 0
+
+
 def _cmd_fig(args: argparse.Namespace) -> int:
     if args.id == "list":  # legacy spelling: `python -m repro list`
         return _cmd_list(args)
@@ -162,6 +220,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"  SLAs:        {', '.join(SLAS.names())}")
     print(f"  chains:      {', '.join(CHAINS.names())}")
     print(f"  traffic:     {', '.join(TRAFFIC.names())}")
+    print(f"  knob grids:  {', '.join(GRIDS.names())} (scan)")
     return 0
 
 
@@ -188,6 +247,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--quick", action="store_true", help="reduced budgets")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_scan = sub.add_parser(
+        "scan", help="vectorized knob-grid scan of a spec's workload"
+    )
+    p_scan.add_argument("spec", help="spec JSON file or scenario preset id")
+    p_scan.add_argument(
+        "--grid", default="coarse",
+        help=f"knob-grid preset ({', '.join(GRIDS.names())})",
+    )
+    p_scan.add_argument(
+        "--objective", default="energy_efficiency", choices=SCAN_OBJECTIVES,
+        help="ranking objective",
+    )
+    p_scan.add_argument(
+        "--loads", type=float, nargs="+", default=None, metavar="PPS",
+        help="offered load axis in packets/s (default: one draw from the "
+             "spec's traffic model)",
+    )
+    p_scan.add_argument(
+        "--packet-bytes", type=float, nargs="+", default=None, metavar="B",
+        help="packet-size axis in bytes (default: the traffic model's mean "
+             "frame size); several values scan a knobs x loads x sizes grid",
+    )
+    p_scan.add_argument(
+        "--top", type=int, default=10, help="candidates to report (default 10)"
+    )
+    p_scan.add_argument(
+        "--min-delivery", type=float, default=0.5, metavar="FRAC",
+        help="min_energy feasibility gate: required delivered fraction of "
+             "the offered load (default 0.5, as in oracle-static)",
+    )
+    p_scan.add_argument("--out", default=None, help="write the scan JSON here")
+    p_scan.set_defaults(func=_cmd_scan)
 
     p_fig = sub.add_parser("fig", help="run a paper-figure harness")
     p_fig.add_argument("id", help="experiment id (see 'python -m repro list')")

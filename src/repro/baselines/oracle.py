@@ -27,6 +27,38 @@ from repro.traffic.analysis import FlowAnalyzer
 OBJECTIVES = ("energy_efficiency", "max_throughput", "min_energy")
 
 
+def score_candidates(
+    objective: str,
+    *,
+    throughput,
+    energy,
+    energy_efficiency,
+    delivered_frac=None,
+    min_delivery: float = 0.5,
+) -> np.ndarray:
+    """Higher-is-better per-candidate score for a grid-search objective.
+
+    The single scoring implementation shared by
+    :class:`OracleStaticController` and the ``scan`` CLI's
+    :func:`~repro.scenario.runner.scan_report`, so the two grid
+    searches cannot diverge on what an objective name means.  All
+    inputs are per-candidate vectors (already reduced over any load /
+    packet-size axes); ``min_energy`` requires ``delivered_frac`` and
+    pushes candidates below ``min_delivery`` out of contention.
+    """
+    if objective not in OBJECTIVES:
+        raise ValueError(f"objective must be one of {OBJECTIVES}, got {objective!r}")
+    if objective == "max_throughput":
+        # Lexicographic: throughput first, cheaper energy as tiebreak.
+        return throughput - 1e-9 * energy
+    if objective == "min_energy":
+        if delivered_frac is None:
+            raise ValueError("min_energy scoring needs delivered_frac")
+        score = -energy
+        return np.where(delivered_frac >= min_delivery, score, score - 1e12)
+    return energy_efficiency
+
+
 def default_knob_grid(
     ranges: KnobRanges = DEFAULT_RANGES,
     *,
@@ -112,21 +144,19 @@ class OracleStaticController(Controller):
 
     def _score(self, bt) -> np.ndarray:
         """Higher-is-better score per grid row for the chosen objective."""
-        thr = bt.throughput_gbps[:, 0]
         energy = bt.energy_j[:, 0]
-        if self.objective == "max_throughput":
-            # Lexicographic: throughput first, cheaper energy as tiebreak.
-            return thr - 1e-9 * energy
-        if self.objective == "min_energy":
-            offered = float(bt.offered_pps[0])
-            delivered_frac = (
-                bt.achieved_pps[:, 0] / offered if offered > 0 else np.ones_like(energy)
-            )
-            ok = delivered_frac >= self.min_delivery
-            score = -energy
-            return np.where(ok, score, score - 1e12)
-        eff = bt.energy_efficiency[:, 0]
-        return eff
+        offered = float(bt.offered_pps[0])
+        delivered_frac = (
+            bt.achieved_pps[:, 0] / offered if offered > 0 else np.ones_like(energy)
+        )
+        return score_candidates(
+            self.objective,
+            throughput=bt.throughput_gbps[:, 0],
+            energy=energy,
+            energy_efficiency=bt.energy_efficiency[:, 0],
+            delivered_frac=delivered_frac,
+            min_delivery=self.min_delivery,
+        )
 
     def search(
         self,

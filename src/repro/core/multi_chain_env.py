@@ -24,7 +24,12 @@ from repro.core.sla import SLA
 from repro.core.state import StateEncoder
 from repro.nfv.chain import ServiceChain
 from repro.nfv.controller import OnvmController
-from repro.nfv.engine import EngineParams, PollingMode, TelemetrySample
+from repro.nfv.engine import (
+    EngineParams,
+    PollingMode,
+    TelemetrySample,
+    aggregate_samples,
+)
 from repro.nfv.knobs import KnobSettings
 from repro.nfv.node import Node
 from repro.traffic.generators import TrafficGenerator
@@ -137,33 +142,22 @@ class MultiChainEnv:
         return self._observe()
 
     def _aggregate(self, samples: dict[str, TelemetrySample]) -> TelemetrySample:
-        """Fold per-chain telemetry into one Eq. 1/2-style aggregate."""
-        items = [samples[c.name] for c in self.chains]
-        total_pps = sum(s.achieved_pps for s in items)
-        total_offered = sum(s.offered_pps for s in items)
-        mean_pkt = (
-            sum(s.packet_bytes * s.achieved_pps for s in items) / total_pps
-            if total_pps > 0
-            else items[0].packet_bytes
-        )
-        return TelemetrySample(
-            dt_s=items[0].dt_s,
-            offered_pps=total_offered,
-            achieved_pps=total_pps,
-            packet_bytes=mean_pkt,
-            throughput_gbps=sum(s.throughput_gbps for s in items),
-            llc_miss_rate_per_s=sum(s.llc_miss_rate_per_s for s in items),
-            cpu_utilization=max(s.cpu_utilization for s in items),
-            cpu_cores_busy=sum(s.cpu_cores_busy for s in items),
-            power_w=sum(s.power_w for s in items),
-            energy_j=sum(s.energy_j for s in items),
-            dropped_pps=sum(s.dropped_pps for s in items),
-            latency_s=max(s.latency_s for s in items),
-            arrival_rate_pps=total_offered,
-        )
+        """Fold per-chain telemetry into one Eq. 1/2-style aggregate.
+
+        Delegates to :func:`repro.nfv.engine.aggregate_samples` — the
+        same fold :meth:`MultiChainTelemetry.aggregate` uses — so the
+        aggregate is identical whichever kernel dispatch path (compiled
+        plan or scalar fallback) produced the interval's samples.
+        """
+        return aggregate_samples([samples[c.name] for c in self.chains])
 
     def step(self, action: np.ndarray) -> MultiChainStep:
-        """Apply each chain's slice of the joint action; run one interval."""
+        """Apply the joint action and run one interval via the kernel.
+
+        All chains' knob slices are handed to the controller together,
+        so the node applies them and evaluates every chain in a single
+        :meth:`~repro.nfv.node.Node.step_all` pass.
+        """
         if self.controller is None:
             raise RuntimeError("call reset() before step()")
         action = np.asarray(action, dtype=np.float64)
@@ -171,12 +165,15 @@ class MultiChainEnv:
             raise ValueError(
                 f"expected action shape ({self.action_dim},), got {action.shape}"
             )
-        knobs: dict[str, KnobSettings] = {}
+        requested: dict[str, KnobSettings] = {}
         k = self.knob_space.dim
         for i, chain in enumerate(self.chains):
-            settings = self.knob_space.to_settings(action[i * k : (i + 1) * k])
-            knobs[chain.name] = self.controller.set_knobs(chain.name, settings)
-        samples = self.controller.run_interval()
+            requested[chain.name] = self.knob_space.to_settings(
+                action[i * k : (i + 1) * k]
+            )
+        samples = self.controller.run_interval(knobs=requested)
+        node = self.controller.node
+        knobs = {name: node.chains[name].knobs for name in requested}
         agg = self._aggregate(samples)
         self._step_count += 1
         done = self._step_count >= self.episode_len

@@ -76,6 +76,7 @@ def comparison_specs(
     qlearning_episodes: int = 150,
     seed: int = 11,
     scale: ExperimentScale = DEFAULT_SCALE,
+    include_oracle: bool = False,
 ) -> list[ScenarioSpec]:
     """The Fig. 9 line-up as declarative scenario specs (paper order).
 
@@ -84,6 +85,11 @@ def comparison_specs(
     budgets differ per entry.  Per-entry seeds are derived with the
     stable FNV name hash — Python's builtin ``hash()`` is salted per
     process — so sweeps reproduce bit-for-bit.
+
+    ``include_oracle`` appends the ``Oracle-Static`` entry — the best
+    *fixed* configuration found by the vectorized exhaustive knob search
+    — as an upper-bound bar for every static policy.  It is opt-in so
+    the paper's seven-bar figure stays byte-identical by default.
     """
     ee_sla, ee_params = scale.sla_spec("energy_efficiency")
     maxt_sla, maxt_params = scale.sla_spec("max_throughput")
@@ -125,6 +131,14 @@ def comparison_specs(
                 seed=seed + hash_name(sla_name) % 1000, **shared,
             )
         )
+    if include_oracle:
+        specs.append(
+            ScenarioSpec(
+                name="Oracle-Static", controller="oracle-static",
+                sla=ee_sla, sla_params=ee_params,
+                episodes=1, test_every=1, seed=seed, **shared,
+            )
+        )
     return specs
 
 
@@ -135,12 +149,15 @@ def fig9_comparison(
     qlearning_episodes: int = 150,
     seed: int = 11,
     scale: ExperimentScale = DEFAULT_SCALE,
+    include_oracle: bool = False,
 ) -> tuple[ComparisonResult, ExperimentReport]:
     """Run the full seven-way comparison of Fig. 9.
 
     ``intervals`` is the shared measurement horizon (control intervals of
     1 s); training budgets are scaled for benchmark runtimes — the
-    orderings are stable well below the paper's 8x10^4 episodes.
+    orderings are stable well below the paper's 8x10^4 episodes.  With
+    ``include_oracle`` the grid-search ``Oracle-Static`` upper-bound bar
+    joins the line-up (the ``fig9-oracle`` experiment id).
     """
     specs = comparison_specs(
         intervals=intervals,
@@ -148,15 +165,18 @@ def fig9_comparison(
         qlearning_episodes=qlearning_episodes,
         seed=seed,
         scale=scale,
+        include_oracle=include_oracle,
     )
     result = ComparisonResult(
         entries=[ComparisonEntry.from_result(run(spec)) for spec in specs]
     )
 
     report = ExperimentReport(
-        "fig9",
+        "fig9-oracle" if include_oracle else "fig9",
         "Model comparison: mean throughput and window energy for Baseline, "
-        "Heuristics, EE-Pstate, Q-Learning and the three GreenNFV SLAs.",
+        "Heuristics, EE-Pstate, Q-Learning and the three GreenNFV SLAs"
+        + (", plus the Oracle-Static grid-search upper bound."
+           if include_oracle else "."),
     )
     base = result.baseline
     report.add_table(
@@ -175,3 +195,8 @@ def fig9_comparison(
         title="Fig. 9 — performance comparison of the models",
     )
     return result, report
+
+
+def fig9_comparison_with_oracle(**kwargs) -> tuple[ComparisonResult, ExperimentReport]:
+    """Fig. 9 plus the ``Oracle-Static`` upper-bound bar (``fig9-oracle``)."""
+    return fig9_comparison(include_oracle=True, **kwargs)

@@ -22,7 +22,10 @@ from repro.experiments.ablations import (
     ablation_knobs,
     ablation_per,
 )
-from repro.experiments.comparison import fig9_comparison
+from repro.experiments.comparison import (
+    fig9_comparison,
+    fig9_comparison_with_oracle,
+)
 from repro.experiments.energy_saving import fig11_energy_saving
 from repro.experiments.fixed_sla import fig10_fixed_sla
 from repro.experiments.microbench import (
@@ -46,6 +49,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig7": fig7_min_energy,
     "fig8": fig8_energy_efficiency,
     "fig9": fig9_comparison,
+    "fig9-oracle": fig9_comparison_with_oracle,
     "fig10": fig10_fixed_sla,
     "fig11": fig11_energy_saving,
     "ablation-per": ablation_per,
@@ -61,6 +65,7 @@ QUICK_BUDGETS: dict[str, dict] = {
     "fig7": dict(episodes=20, test_every=5),
     "fig8": dict(episodes=20, test_every=5),
     "fig9": dict(intervals=16, train_episodes=25, qlearning_episodes=40),
+    "fig9-oracle": dict(intervals=16, train_episodes=25, qlearning_episodes=40),
     "fig10": dict(duration_s=40.0, train_episodes=15),
     "fig11": dict(train_episodes=20, measure_intervals=16),
     "ablation-per": dict(episodes=20, test_every=10),

@@ -69,9 +69,16 @@ class DmaBufferModel:
             return float(min(max(dma_bytes, self.spec.min_bytes), self.spec.max_bytes))
         return np.clip(dma_bytes, self.spec.min_bytes, self.spec.max_bytes)
 
-    def ring_capacity_packets(self, dma_bytes, packet_bytes: float):
-        """How many packets the ring holds (each slot stores a full mbuf)."""
-        if packet_bytes <= 0:
+    def ring_capacity_packets(self, dma_bytes, packet_bytes):
+        """How many packets the ring holds (each slot stores a full mbuf).
+
+        ``packet_bytes`` may be an array (multi-chain kernels pass one
+        frame size per chain); it broadcasts against ``dma_bytes``.
+        """
+        if np.isscalar(packet_bytes):
+            if packet_bytes <= 0:
+                raise ValueError("packet size must be positive")
+        elif np.any(np.asarray(packet_bytes) <= 0):
             raise ValueError("packet size must be positive")
         # DPDK mbufs are fixed-size (2 KB data room) regardless of frame
         # size, but small frames can be batched into the same segment via

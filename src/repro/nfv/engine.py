@@ -178,6 +178,93 @@ def chain_profile(
     )
 
 
+@dataclass(frozen=True)
+class ChainStack:
+    """Several :class:`ChainProfile` rows stacked for one kernel pass.
+
+    Rows may mix chains and packet sizes — a multi-chain node (one row
+    per hosted chain), a packet-size sweep (one row per frame size of
+    the same chain), or both.  Per-NF arrays have shape ``(R, n_max)``;
+    rows whose chain has fewer than ``n_max`` NFs are zero-padded, with
+    ``valid`` masking the live lanes (``None`` when every row has the
+    same NF count).  ``total_state_bytes`` and ``packet_bytes`` are
+    ``(R, 1)`` columns so they broadcast against knob columns inside
+    :meth:`PacketEngine._chain_costs`.
+    """
+
+    profiles: tuple[ChainProfile, ...]
+    compute_cycles: np.ndarray  # (R, n_max)
+    state_lines: np.ndarray  # (R, n_max)
+    touched_lines: np.ndarray  # (R, n_max)
+    total_state_bytes: np.ndarray  # (R, 1)
+    packet_bytes: np.ndarray  # (R, 1)
+    n_nfs: np.ndarray  # (R,) per-row NF counts (float64 for broadcasting)
+    valid: np.ndarray | None  # (R, n_max) bool lane mask, None if homogeneous
+
+    def __len__(self) -> int:
+        """Padded NF-axis length (matches ``len(profile)`` semantics)."""
+        return self.compute_cycles.shape[1]
+
+    @property
+    def rows(self) -> int:
+        """Number of stacked profiles."""
+        return self.compute_cycles.shape[0]
+
+
+def stack_profiles(profiles) -> ChainStack:
+    """Stack :class:`ChainProfile` rows into one padded :class:`ChainStack`."""
+    profiles = tuple(profiles)
+    if not profiles:
+        raise ValueError("need at least one profile to stack")
+    n_nfs = [len(p) for p in profiles]
+    n_max = max(n_nfs)
+    rows = len(profiles)
+    compute = np.zeros((rows, n_max), dtype=np.float64)
+    state = np.zeros((rows, n_max), dtype=np.float64)
+    touched = np.zeros((rows, n_max), dtype=np.float64)
+    for r, p in enumerate(profiles):
+        compute[r, : n_nfs[r]] = p.compute_cycles
+        state[r, : n_nfs[r]] = p.state_lines
+        touched[r, : n_nfs[r]] = p.touched_lines
+    if min(n_nfs) == n_max:
+        valid = None
+    else:
+        valid = np.arange(n_max)[None, :] < np.asarray(n_nfs)[:, None]
+        valid.flags.writeable = False
+    total_state = np.asarray(
+        [p.total_state_bytes for p in profiles], dtype=np.float64
+    )[:, None]
+    pkt = np.asarray([p.packet_bytes for p in profiles], dtype=np.float64)[:, None]
+    for arr in (compute, state, touched, total_state, pkt):
+        arr.flags.writeable = False
+    return ChainStack(
+        profiles=profiles,
+        compute_cycles=compute,
+        state_lines=state,
+        touched_lines=touched,
+        total_state_bytes=total_state,
+        packet_bytes=pkt,
+        n_nfs=np.asarray(n_nfs, dtype=np.float64),
+        valid=valid,
+    )
+
+
+@lru_cache(maxsize=512)
+def chain_stack(chains, packet_bytes, line_bytes: float = 64.0) -> ChainStack:
+    """Build (or fetch the cached) stack for chains at their packet sizes.
+
+    ``chains`` and ``packet_bytes`` are same-length tuples — one row per
+    (chain, frame size) pair.  Like :func:`chain_profile`, stacks are
+    memoized: a node stepping the same resident chains every interval
+    reuses one stack for the whole run.
+    """
+    if len(chains) != len(packet_bytes):
+        raise ValueError("need one packet size per chain")
+    return stack_profiles(
+        chain_profile(c, p, line_bytes) for c, p in zip(chains, packet_bytes)
+    )
+
+
 @dataclass
 class NFTelemetry:
     """Per-NF interval measurements."""
@@ -236,10 +323,16 @@ class BatchTelemetry:
     Grid quantities have shape ``(K, L)``; per-NF quantities depend only
     on the knobs and have shape ``(K, n_nfs)``.  Row ``k`` corresponds to
     ``knobs[k]``; column ``l`` to ``offered_pps[l]``.
+
+    When the grid was evaluated over a packet-size axis of P frame
+    sizes, ``packet_bytes`` is the ``(P,)`` axis, grid quantities have
+    shape ``(K, L, P)``, and per-knob quantities gain the packet axis
+    too: ``chain_rate_pps`` is ``(K, P)`` and per-NF quantities are
+    ``(K, P, n_nfs)`` (``nf_utilization``: ``(K, L, P, n_nfs)``).
     """
 
     dt_s: float
-    packet_bytes: float
+    packet_bytes: float | np.ndarray
     offered_pps: np.ndarray  # (L,)
     achieved_pps: np.ndarray  # (K, L)
     throughput_gbps: np.ndarray  # (K, L)
@@ -258,8 +351,8 @@ class BatchTelemetry:
     nf_names: tuple[str, ...] = ()
 
     @property
-    def shape(self) -> tuple[int, int]:
-        """(K knob settings, L offered loads)."""
+    def shape(self) -> tuple[int, ...]:
+        """(K knob settings, L offered loads[, P packet sizes])."""
         return self.achieved_pps.shape
 
     @property
@@ -283,33 +376,366 @@ class BatchTelemetry:
             )
         return out
 
-    def sample(self, k: int, l: int) -> TelemetrySample:
-        """Materialize one grid point as a full :class:`TelemetrySample`."""
+    def sample(self, k: int, l: int, p: int | None = None) -> TelemetrySample:
+        """Materialize one grid point as a full :class:`TelemetrySample`.
+
+        For telemetry carrying a packet-size axis, ``p`` selects the
+        frame size (required then, rejected otherwise).
+        """
+        if self.achieved_pps.ndim == 3:
+            if p is None:
+                raise ValueError(
+                    "this telemetry has a packet-size axis; pass sample(k, l, p)"
+                )
+            grid = (k, l, p)
+            knob = (k, p)
+            pkt = float(self.packet_bytes[p])
+        else:
+            if p is not None:
+                raise ValueError("no packet-size axis on this telemetry")
+            grid = (k, l)
+            knob = (k,)
+            pkt = self.packet_bytes
         per_nf = [
             NFTelemetry(
                 name=name,
-                cycles_per_packet=float(self.cycles_per_packet[k, i]),
-                service_rate_pps=float(self.service_rate_pps[k, i]),
-                utilization=float(self.nf_utilization[k, l, i]),
-                misses_per_packet=float(self.misses_per_packet[k, i]),
+                cycles_per_packet=float(self.cycles_per_packet[knob + (i,)]),
+                service_rate_pps=float(self.service_rate_pps[knob + (i,)]),
+                utilization=float(self.nf_utilization[grid + (i,)]),
+                misses_per_packet=float(self.misses_per_packet[knob + (i,)]),
             )
             for i, name in enumerate(self.nf_names)
         ]
         return TelemetrySample(
             dt_s=self.dt_s,
             offered_pps=float(self.offered_pps[l]),
-            achieved_pps=float(self.achieved_pps[k, l]),
-            packet_bytes=self.packet_bytes,
-            throughput_gbps=float(self.throughput_gbps[k, l]),
-            llc_miss_rate_per_s=float(self.llc_miss_rate_per_s[k, l]),
-            cpu_utilization=float(self.cpu_utilization[k, l]),
-            cpu_cores_busy=float(self.cpu_cores_busy[k, l]),
-            power_w=float(self.power_w[k, l]),
-            energy_j=float(self.energy_j[k, l]),
-            dropped_pps=float(self.dropped_pps[k, l]),
-            latency_s=float(self.latency_s[k, l]),
+            achieved_pps=float(self.achieved_pps[grid]),
+            packet_bytes=pkt,
+            throughput_gbps=float(self.throughput_gbps[grid]),
+            llc_miss_rate_per_s=float(self.llc_miss_rate_per_s[grid]),
+            cpu_utilization=float(self.cpu_utilization[grid]),
+            cpu_cores_busy=float(self.cpu_cores_busy[grid]),
+            power_w=float(self.power_w[grid]),
+            energy_j=float(self.energy_j[grid]),
+            dropped_pps=float(self.dropped_pps[grid]),
+            latency_s=float(self.latency_s[grid]),
             arrival_rate_pps=float(self.offered_pps[l]),
             per_nf=per_nf,
+        )
+
+
+@dataclass
+class MultiChainTelemetry:
+    """Telemetry of R chains stepped diagonally in one kernel call.
+
+    Unlike :class:`BatchTelemetry` (one chain, a knob x load grid), each
+    row here is a *different* chain evaluated at its own knob setting,
+    offered load and packet size — the multi-chain node's per-interval
+    workload.  Per-chain quantities have shape ``(R,)``; per-NF
+    quantities ``(R, n_max)`` with padded lanes zeroed.  Row ``r``'s
+    values match the scalar :meth:`PacketEngine.step` call for that
+    chain bit-for-bit (to <= 1 ulp).
+    """
+
+    dt_s: float
+    stack: ChainStack
+    offered_pps: np.ndarray  # (R,)
+    packet_bytes: np.ndarray  # (R,)
+    achieved_pps: np.ndarray  # (R,)
+    throughput_gbps: np.ndarray  # (R,)
+    llc_miss_rate_per_s: np.ndarray  # (R,)
+    cpu_utilization: np.ndarray  # (R,)
+    cpu_cores_busy: np.ndarray  # (R,)
+    power_w: np.ndarray  # (R,)
+    energy_j: np.ndarray  # (R,)
+    dropped_pps: np.ndarray  # (R,)
+    latency_s: np.ndarray  # (R,)
+    chain_rate_pps: np.ndarray  # (R,)
+    cycles_per_packet: np.ndarray  # (R, n_max)
+    misses_per_packet: np.ndarray  # (R, n_max)
+    service_rate_pps: np.ndarray  # (R, n_max)
+    nf_utilization: np.ndarray  # (R, n_max)
+
+    def __len__(self) -> int:
+        return self.achieved_pps.shape[0]
+
+    def sample(self, r: int) -> TelemetrySample:
+        """Materialize one chain's row as a full :class:`TelemetrySample`."""
+        profile = self.stack.profiles[r]
+        cpp = self.cycles_per_packet[r]
+        rate = self.service_rate_pps[r]
+        util = self.nf_utilization[r]
+        mpp = self.misses_per_packet[r]
+        per_nf = [
+            NFTelemetry(
+                name=name,
+                cycles_per_packet=float(cpp[i]),
+                service_rate_pps=float(rate[i]),
+                utilization=float(util[i]),
+                misses_per_packet=float(mpp[i]),
+            )
+            for i, name in enumerate(profile.names)
+        ]
+        offered = float(self.offered_pps[r])
+        return TelemetrySample(
+            dt_s=self.dt_s,
+            offered_pps=offered,
+            achieved_pps=float(self.achieved_pps[r]),
+            packet_bytes=float(self.packet_bytes[r]),
+            throughput_gbps=float(self.throughput_gbps[r]),
+            llc_miss_rate_per_s=float(self.llc_miss_rate_per_s[r]),
+            cpu_utilization=float(self.cpu_utilization[r]),
+            cpu_cores_busy=float(self.cpu_cores_busy[r]),
+            power_w=float(self.power_w[r]),
+            energy_j=float(self.energy_j[r]),
+            dropped_pps=float(self.dropped_pps[r]),
+            latency_s=float(self.latency_s[r]),
+            arrival_rate_pps=offered,
+            per_nf=per_nf,
+        )
+
+    def samples(self) -> list[TelemetrySample]:
+        """All rows as :class:`TelemetrySample` objects.
+
+        Equivalent to ``[self.sample(r) for r in range(len(self))]`` but
+        converts each array to Python floats in one pass — the cheap
+        materialization path the node uses every interval.
+        """
+        offered = self.offered_pps.tolist()
+        achieved = self.achieved_pps.tolist()
+        pkt = self.packet_bytes.tolist()
+        thr = self.throughput_gbps.tolist()
+        miss_rate = self.llc_miss_rate_per_s.tolist()
+        cpu_util = self.cpu_utilization.tolist()
+        busy = self.cpu_cores_busy.tolist()
+        power = self.power_w.tolist()
+        energy = self.energy_j.tolist()
+        dropped = self.dropped_pps.tolist()
+        latency = self.latency_s.tolist()
+        cpp = self.cycles_per_packet.tolist()
+        rate = self.service_rate_pps.tolist()
+        util = self.nf_utilization.tolist()
+        mpp = self.misses_per_packet.tolist()
+        out = []
+        for r, profile in enumerate(self.stack.profiles):
+            cpp_r, rate_r, util_r, mpp_r = cpp[r], rate[r], util[r], mpp[r]
+            per_nf = [
+                NFTelemetry(
+                    name=name,
+                    cycles_per_packet=cpp_r[i],
+                    service_rate_pps=rate_r[i],
+                    utilization=util_r[i],
+                    misses_per_packet=mpp_r[i],
+                )
+                for i, name in enumerate(profile.names)
+            ]
+            out.append(
+                TelemetrySample(
+                    dt_s=self.dt_s,
+                    offered_pps=offered[r],
+                    achieved_pps=achieved[r],
+                    packet_bytes=pkt[r],
+                    throughput_gbps=thr[r],
+                    llc_miss_rate_per_s=miss_rate[r],
+                    cpu_utilization=cpu_util[r],
+                    cpu_cores_busy=busy[r],
+                    power_w=power[r],
+                    energy_j=energy[r],
+                    dropped_pps=dropped[r],
+                    latency_s=latency[r],
+                    arrival_rate_pps=offered[r],
+                    per_nf=per_nf,
+                )
+            )
+        return out
+
+    def aggregate(self) -> TelemetrySample:
+        """Fold the rows into one Eq. 1/2-style node aggregate.
+
+        Delegates to :func:`aggregate_samples` — the single
+        authoritative fold — so kernel-backed and sample-based callers
+        can never diverge.
+        """
+        return aggregate_samples(self.samples())
+
+
+def aggregate_samples(samples) -> TelemetrySample:
+    """Fold per-chain telemetry into one Eq. 1/2-style node aggregate.
+
+    Throughput/energy/misses/drops sum over chains (``psi_T = sum_i
+    T_{f_i}``, ``psi_E = sum_i E_{f_i}``); utilization and latency take
+    the worst chain; packet size is the achieved-rate-weighted mean.
+    This is the only implementation of the fold — the multi-chain env
+    and :meth:`MultiChainTelemetry.aggregate` both call it, so the
+    result does not depend on which stepping path produced the samples.
+    """
+    items = list(samples)
+    if not items:
+        raise ValueError("need at least one sample to aggregate")
+    total_pps = sum(s.achieved_pps for s in items)
+    total_offered = sum(s.offered_pps for s in items)
+    mean_pkt = (
+        sum(s.packet_bytes * s.achieved_pps for s in items) / total_pps
+        if total_pps > 0
+        else items[0].packet_bytes
+    )
+    return TelemetrySample(
+        dt_s=items[0].dt_s,
+        offered_pps=total_offered,
+        achieved_pps=total_pps,
+        packet_bytes=mean_pkt,
+        throughput_gbps=sum(s.throughput_gbps for s in items),
+        llc_miss_rate_per_s=sum(s.llc_miss_rate_per_s for s in items),
+        cpu_utilization=max(s.cpu_utilization for s in items),
+        cpu_cores_busy=sum(s.cpu_cores_busy for s in items),
+        power_w=sum(s.power_w for s in items),
+        energy_j=sum(s.energy_j for s in items),
+        dropped_pps=sum(s.dropped_pps for s in items),
+        latency_s=max(s.latency_s for s in items),
+        arrival_rate_pps=total_offered,
+    )
+
+
+@dataclass
+class ChainKernelPlan:
+    """A compiled multi-chain stepping kernel for fixed knob settings.
+
+    Built by :meth:`PacketEngine.compile_chains`; holds every
+    load-independent quantity (per-NF costs, service rates, livelock
+    constants, NIC/ring caps, allocated cores) so :meth:`step` only has
+    to price the interval's offered loads.  Each step's row ``r``
+    matches the scalar :meth:`PacketEngine.step` call for that chain to
+    <= 1 ulp.
+    """
+
+    engine: "PacketEngine"
+    stack: ChainStack
+    share: np.ndarray  # (R,)
+    freq: np.ndarray  # (R,) GHz
+    batch: np.ndarray  # (R,)
+    capacity: np.ndarray  # (R,) cycles/s granted per NF
+    cpps: np.ndarray  # (R, n) cycles/packet (padded lanes zeroed)
+    misses_pp: np.ndarray  # (R, n)
+    rates: np.ndarray  # (R, n) per-NF service rates
+    chain_rate: np.ndarray  # (R,) pipeline bottleneck rate
+    livelock_able: np.ndarray  # (R,) bool: NF0 cpp exceeds the rx-drop cost
+    livelock_denom: np.ndarray  # (R,)
+    nic_cap: np.ndarray  # (R,) line-rate pps at each chain's frame size
+    absorb_pps: np.ndarray  # (R,) rx-ring burst absorption cap
+    proc_s: np.ndarray  # (R,) pipeline walk time
+    total_misses_pp: np.ndarray  # (R,)
+    allocated_cores: np.ndarray  # (R,)
+    infra_busy: float
+    util_poll: np.ndarray | None  # (R, n) fixed utilization under POLL
+    busy_poll: np.ndarray | None  # (R,)
+
+    @property
+    def rows(self) -> int:
+        """Number of chains the plan steps."""
+        return self.share.shape[0]
+
+    def step(
+        self,
+        offered_grid,
+        dt_s: float = 1.0,
+        *,
+        include_power: bool = True,
+    ) -> MultiChainTelemetry:
+        """Price one control interval's offered loads through the plan."""
+        if dt_s <= 0:
+            raise ValueError("dt must be positive")
+        offered = np.atleast_1d(np.asarray(offered_grid, dtype=np.float64))
+        if offered.shape != self.share.shape:
+            raise ValueError("need one offered rate per stacked chain")
+        if np.any(offered < 0):
+            raise ValueError("offered rates must be non-negative")
+        rx = self.engine.params.rx_drop_cycles
+        cpps = self.cpps
+        capacity = self.capacity
+
+        # 1. NIC admission (line rate, per chain's frame size).
+        admitted = np.minimum(offered, self.nic_cap)
+
+        # 2. Rx-ring delivery (DMA buffer absorption).
+        delivery = np.minimum(
+            1.0, self.absorb_pps / np.where(admitted > 0, admitted, 1.0)
+        )
+        delivered = admitted * np.where(admitted == 0, 1.0, delivery)  # (R,)
+
+        # 3. Pipeline bottleneck.
+        achieved = np.minimum(delivered, self.chain_rate)
+
+        # 4. Receive livelock.
+        cpp0 = cpps[:, 0]
+        livelock = (delivered * cpp0 > capacity) & self.livelock_able
+        nf0_rate = np.maximum(
+            0.0, (capacity - delivered * rx) / self.livelock_denom
+        )
+        achieved = np.where(livelock, np.minimum(achieved, nf0_rate), achieved)
+
+        # 5. Per-NF utilization.
+        if self.util_poll is not None:
+            util = self.util_poll.copy()
+            busy_cores = self.busy_poll
+        else:
+            work = achieved[:, None] * cpps  # (R, n)
+            work[:, 0] = work[:, 0] + np.maximum(0.0, delivered - achieved) * rx
+            cap2 = capacity[:, None]
+            util = np.where(
+                cap2 > 0, np.minimum(1.0, work / np.where(cap2 > 0, cap2, 1.0)), 0.0
+            )
+            util = np.minimum(
+                1.0, util + self.engine.params.adaptive_poll_overhead
+            )
+            if self.stack.valid is not None:
+                util = np.where(self.stack.valid, util, 0.0)
+            busy_cores = np.sum(self.share[:, None] * util, axis=1)  # (R,)
+        total_busy = busy_cores + self.infra_busy
+
+        # 6. Node power (or zeros when the node prices power itself).
+        cpu_utilization = np.minimum(1.0, total_busy / self.allocated_cores)
+        if include_power:
+            power_w = np.asarray(
+                self.engine.node_power(total_busy, self.allocated_cores, self.freq)
+            )
+            energy_j = power_w * dt_s
+        else:
+            power_w = np.zeros_like(total_busy)
+            energy_j = np.zeros_like(total_busy)
+
+        # 7. Diagnostics.
+        miss_rate = achieved * self.total_misses_pp
+        dropped = np.maximum(0.0, offered - achieved)
+        fill_s = self.batch / np.maximum(achieved, 1.0)
+        cr = self.chain_rate
+        utilization_peak = np.where(
+            cr > 0, np.minimum(1.0, achieved / np.where(cr > 0, cr, 1.0)), 1.0
+        )
+        queue_s = self.proc_s * utilization_peak / np.maximum(
+            1e-6, 1.0 - np.minimum(utilization_peak, 0.999)
+        )
+        latency_s = fill_s + self.proc_s + queue_s
+        pkt = self.stack.packet_bytes[:, 0]
+
+        return MultiChainTelemetry(
+            dt_s=dt_s,
+            stack=self.stack,
+            offered_pps=offered,
+            packet_bytes=pkt,
+            achieved_pps=achieved,
+            throughput_gbps=pps_to_gbps(achieved, pkt),
+            llc_miss_rate_per_s=miss_rate,
+            cpu_utilization=cpu_utilization,
+            cpu_cores_busy=total_busy,
+            power_w=power_w,
+            energy_j=energy_j,
+            dropped_pps=dropped,
+            latency_s=latency_s,
+            chain_rate_pps=self.chain_rate,
+            cycles_per_packet=cpps,
+            misses_per_packet=self.misses_pp,
+            service_rate_pps=self.rates,
+            nf_utilization=util,
         )
 
 
@@ -365,6 +791,34 @@ class PacketEngine:
         self.dma_model = DmaBufferModel(self.server.dma, self.server.llc)
 
     # -- cache environment ---------------------------------------------------
+
+    def _resolve_llc_contention(self, share, llc_frac, llc_bytes, contention):
+        """(effective LLC bytes, effective contention) knob columns.
+
+        The shared preamble of every grid kernel: derive the requested
+        capacity from the ``llc_fraction`` column unless an explicit
+        per-knob grant override is given, apply the CAT-disabled
+        environment, and floor the cross-chain contention at the no-CAT
+        multiplier.  All outputs broadcast to ``share``'s shape.
+        """
+        llc = self.server.llc
+        if llc_bytes is None:
+            llc_req = llc_frac * llc.way_bytes * llc.allocatable_ways
+        else:
+            llc_req = np.broadcast_to(
+                np.asarray(llc_bytes, dtype=np.float64), share.shape
+            )
+        eff_llc, cat_contention = self.effective_llc_bytes(llc_req)
+        if contention is None:
+            eff_contention = np.broadcast_to(
+                np.asarray(cat_contention, dtype=np.float64), share.shape
+            )
+        else:
+            eff_contention = np.maximum(
+                np.broadcast_to(np.asarray(contention, dtype=np.float64), share.shape),
+                cat_contention,
+            )
+        return np.asarray(eff_llc, dtype=np.float64), eff_contention
 
     def effective_llc_bytes(self, requested_bytes):
         """(effective allocation, contention multiplier) for a chain.
@@ -698,6 +1152,12 @@ class PacketEngine:
             :meth:`KnobSettings.as_array` layout.
         offered_grid:
             Offered packet rates, shape ``(L,)`` (scalars are promoted).
+        packet_bytes:
+            One frame size (grid arrays come back ``(K, L)``) or a
+            one-dimensional axis of P frame sizes — then the whole
+            K x L x P grid is evaluated in this one call and grid arrays
+            come back ``(K, L, P)`` (per-knob/per-NF quantities gain the
+            packet axis too: ``(K, P)`` / ``(K, P, n)``).
         llc_bytes:
             Requested LLC capacity override — scalar or per-knob ``(K,)``
             array; default derives it from each setting's
@@ -705,11 +1165,83 @@ class PacketEngine:
         contention:
             Cross-chain miss multiplier — scalar or per-knob ``(K,)``.
 
-        Returns a :class:`BatchTelemetry` whose grid arrays have shape
-        ``(K, L)``.  Every point is numerically equivalent to the
-        corresponding :meth:`step` call.
+        Every point is numerically equivalent to the corresponding
+        :meth:`step` call.
         """
+        if not (np.isscalar(packet_bytes) or np.ndim(packet_bytes) == 0):
+            return self._step_batch_packet_axis(
+                chain,
+                knobs_grid,
+                offered_grid,
+                packet_bytes,
+                dt_s,
+                llc_bytes=llc_bytes,
+                contention=contention,
+                include_power=include_power,
+            )
+        packet_bytes = float(packet_bytes)
         if packet_bytes <= 0 or dt_s <= 0:
+            raise ValueError("packet size/dt must be positive")
+        # One physics pipeline: evaluate as a length-1 packet axis and
+        # squeeze it back out (bitwise identical to a dedicated 2-D
+        # evaluation; the packet-axis equivalence tests pin this).
+        full = self._step_batch_packet_axis(
+            chain,
+            knobs_grid,
+            offered_grid,
+            [packet_bytes],
+            dt_s,
+            llc_bytes=llc_bytes,
+            contention=contention,
+            include_power=include_power,
+        )
+        return BatchTelemetry(
+            dt_s=dt_s,
+            packet_bytes=packet_bytes,
+            offered_pps=full.offered_pps,
+            achieved_pps=full.achieved_pps[:, :, 0],
+            throughput_gbps=full.throughput_gbps[:, :, 0],
+            llc_miss_rate_per_s=full.llc_miss_rate_per_s[:, :, 0],
+            cpu_utilization=full.cpu_utilization[:, :, 0],
+            cpu_cores_busy=full.cpu_cores_busy[:, :, 0],
+            power_w=full.power_w[:, :, 0],
+            energy_j=full.energy_j[:, :, 0],
+            dropped_pps=full.dropped_pps[:, :, 0],
+            latency_s=full.latency_s[:, :, 0],
+            chain_rate_pps=full.chain_rate_pps[:, 0],
+            cycles_per_packet=full.cycles_per_packet[:, 0, :],
+            misses_per_packet=full.misses_per_packet[:, 0, :],
+            service_rate_pps=full.service_rate_pps[:, 0, :],
+            nf_utilization=full.nf_utilization[:, :, 0, :],
+            nf_names=full.nf_names,
+        )
+
+    def _step_batch_packet_axis(
+        self,
+        chain: ServiceChain,
+        knobs_grid,
+        offered_grid,
+        packet_grid,
+        dt_s: float = 1.0,
+        *,
+        llc_bytes=None,
+        contention=None,
+        include_power: bool = True,
+    ) -> BatchTelemetry:
+        """K knobs x L loads x P packet sizes in one vectorized pass.
+
+        Axis convention: grid quantities are ``(K, L, P)``; per-knob
+        per-NF quantities are ``(K, P, n)`` (the NF axis stays last so
+        :meth:`_chain_costs` broadcasting is unchanged).  Each (k, l, p)
+        point is numerically equivalent to the corresponding scalar
+        :meth:`step` call at ``packet_grid[p]``.
+        """
+        if dt_s <= 0:
+            raise ValueError("packet size/dt must be positive")
+        pkt = np.atleast_1d(np.asarray(packet_grid, dtype=np.float64))
+        if pkt.ndim != 1 or pkt.size == 0:
+            raise ValueError("packet-size grid must be a non-empty 1-D axis")
+        if np.any(pkt <= 0):
             raise ValueError("packet size/dt must be positive")
         offered = np.atleast_1d(np.asarray(offered_grid, dtype=np.float64))
         if offered.ndim != 1:
@@ -717,77 +1249,73 @@ class PacketEngine:
         if np.any(offered < 0):
             raise ValueError("offered rates must be non-negative")
         share, freq, llc_frac, dma_bytes, batch = _knob_arrays(knobs_grid)
-
         llc = self.server.llc
-        if llc_bytes is None:
-            llc_req = llc_frac * llc.way_bytes * llc.allocatable_ways
-        else:
-            llc_req = np.broadcast_to(
-                np.asarray(llc_bytes, dtype=np.float64), share.shape
-            )
-        eff_llc, cat_contention = self.effective_llc_bytes(llc_req)
-        if contention is None:
-            eff_contention = np.broadcast_to(
-                np.asarray(cat_contention, dtype=np.float64), share.shape
-            )
-        else:
-            eff_contention = np.maximum(
-                np.broadcast_to(np.asarray(contention, dtype=np.float64), share.shape),
-                cat_contention,
-            )
-
-        profile = chain_profile(chain, packet_bytes, llc.line_bytes)
-        n = len(profile)
-        # Knob columns as (K, 1) so the NF axis broadcasts last.
-        cpps, misses_pp = self._chain_costs(
-            profile,
-            batch[:, None],
-            dma_bytes[:, None],
-            np.asarray(eff_llc, dtype=np.float64)[:, None],
-            eff_contention[:, None],
+        eff_llc, eff_contention = self._resolve_llc_contention(
+            share, llc_frac, llc_bytes, contention
         )
 
-        # 1. NIC admission (line rate).
-        nic_cap = self.server.nic.max_pps(packet_bytes)
-        admitted = np.minimum(offered, nic_cap)
+        # One stack row per packet size (same chain throughout, so lanes
+        # are homogeneous — no padding mask).
+        stack = chain_stack(
+            (chain,) * pkt.size, tuple(float(p) for p in pkt), llc.line_bytes
+        )
+        n = len(stack)
+        # Knob columns as (K, 1, 1): the packet axis is second, NFs last.
+        cpps, misses_pp = self._chain_costs(
+            stack,
+            batch[:, None, None],
+            dma_bytes[:, None, None],
+            np.asarray(eff_llc, dtype=np.float64)[:, None, None],
+            eff_contention[:, None, None],
+        )  # (K, P, n)
+
+        # 1. NIC admission (line rate per frame size).
+        nic_cap = self.server.nic.max_pps(pkt)  # (P,)
+        admitted = np.minimum(offered[:, None], nic_cap[None, :])  # (L, P)
 
         # 2. Rx-ring delivery (DMA buffer absorption).
         delivery = self.dma_model.delivery_ratio(
-            dma_bytes[:, None], packet_bytes, admitted[None, :]
-        )
-        delivered = admitted[None, :] * delivery  # (K, L)
+            dma_bytes[:, None, None], pkt, admitted[None, :, :]
+        )  # (K, L, P)
+        delivered = admitted[None, :, :] * delivery
 
         # 3. Pipeline bottleneck.
         freq_hz = freq * 1e9
         capacity = share * freq_hz  # (K,)
-        rates = capacity[:, None] / cpps  # (K, n)
-        chain_rate = rates.min(axis=1)  # (K,)
-        achieved = np.minimum(delivered, chain_rate[:, None])
+        rates = capacity[:, None, None] / cpps  # (K, P, n)
+        chain_rate = rates.min(axis=2)  # (K, P)
+        achieved = np.minimum(delivered, chain_rate[:, None, :])  # (K, L, P)
 
         # 4. Receive livelock.
         rx = self.params.rx_drop_cycles
-        cpp0 = cpps[:, 0]
-        livelock = (delivered * cpp0[:, None] > capacity[:, None]) & (cpp0 > rx)[:, None]
+        cpp0 = cpps[:, :, 0]  # (K, P)
+        livelock = (delivered * cpp0[:, None, :] > capacity[:, None, None]) & (
+            cpp0 > rx
+        )[:, None, :]
         denom = np.where(cpp0 > rx, cpp0 - rx, 1.0)
         nf0_rate = np.maximum(
-            0.0, (capacity[:, None] - delivered * rx) / denom[:, None]
+            0.0, (capacity[:, None, None] - delivered * rx) / denom[:, None, :]
         )
         achieved = np.where(livelock, np.minimum(achieved, nf0_rate), achieved)
 
-        # 5. Per-NF utilization.
-        work = achieved[:, :, None] * cpps[:, None, :]  # (K, L, n)
-        work[:, :, 0] = work[:, :, 0] + np.maximum(0.0, delivered - achieved) * rx
-        cap3 = capacity[:, None, None]
-        util = np.where(
-            cap3 > 0, np.minimum(1.0, work / np.where(cap3 > 0, cap3, 1.0)), 0.0
-        )
+        # 5. Per-NF utilization.  Under POLL it is a constant of the
+        #    knobs, so the (K, L, P, n) work pipeline is skipped.
         if self.polling == PollingMode.POLL:
             util = np.broadcast_to(
-                np.where(share > 0, 1.0, 0.0)[:, None, None], work.shape
+                np.where(share > 0, 1.0, 0.0)[:, None, None, None],
+                achieved.shape + (n,),
             ).copy()
         else:
+            work = achieved[:, :, :, None] * cpps[:, None, :, :]  # (K, L, P, n)
+            work[:, :, :, 0] = work[:, :, :, 0] + np.maximum(
+                0.0, delivered - achieved
+            ) * rx
+            cap4 = capacity[:, None, None, None]
+            util = np.where(
+                cap4 > 0, np.minimum(1.0, work / np.where(cap4 > 0, cap4, 1.0)), 0.0
+            )
             util = np.minimum(1.0, util + self.params.adaptive_poll_overhead)
-        busy_cores = np.sum(share[:, None, None] * util, axis=2)  # (K, L)
+        busy_cores = np.sum(share[:, None, None, None] * util, axis=3)  # (K, L, P)
 
         # Infrastructure (Rx/Tx) threads.
         infra_util = (
@@ -800,12 +1328,14 @@ class PacketEngine:
         total_busy = busy_cores + infra_busy
 
         # 6. Node power (one vectorized Fan-model evaluation).
-        cpu_utilization = np.minimum(1.0, total_busy / allocated_cores[:, None])
+        cpu_utilization = np.minimum(
+            1.0, total_busy / allocated_cores[:, None, None]
+        )
         if include_power:
             power_w = self.node_power(
                 total_busy,
-                np.broadcast_to(allocated_cores[:, None], total_busy.shape),
-                np.broadcast_to(freq[:, None], total_busy.shape),
+                np.broadcast_to(allocated_cores[:, None, None], total_busy.shape),
+                np.broadcast_to(freq[:, None, None], total_busy.shape),
             )
             energy_j = power_w * dt_s
         else:
@@ -813,27 +1343,29 @@ class PacketEngine:
             energy_j = np.zeros_like(total_busy)
 
         # 7. Diagnostics.
-        total_misses_pp = np.sum(misses_pp, axis=1)  # (K,)
-        miss_rate = achieved * total_misses_pp[:, None]
-        dropped = np.maximum(0.0, offered[None, :] - achieved)
-        proc_s = np.where(freq_hz > 0, np.sum(cpps, axis=1) / np.where(freq_hz > 0, freq_hz, 1.0), np.inf)
-        fill_s = batch[:, None] / np.maximum(achieved, 1.0)
+        total_misses_pp = np.sum(misses_pp, axis=2)  # (K, P)
+        miss_rate = achieved * total_misses_pp[:, None, :]
+        dropped = np.maximum(0.0, offered[None, :, None] - achieved)
+        fcol = freq_hz[:, None]
+        proc_s = np.where(
+            fcol > 0, np.sum(cpps, axis=2) / np.where(fcol > 0, fcol, 1.0), np.inf
+        )  # (K, P)
+        fill_s = batch[:, None, None] / np.maximum(achieved, 1.0)
+        cr = chain_rate[:, None, :]
         utilization_peak = np.where(
-            chain_rate[:, None] > 0,
-            np.minimum(1.0, achieved / np.where(chain_rate[:, None] > 0, chain_rate[:, None], 1.0)),
-            1.0,
+            cr > 0, np.minimum(1.0, achieved / np.where(cr > 0, cr, 1.0)), 1.0
         )
-        queue_s = proc_s[:, None] * utilization_peak / np.maximum(
+        queue_s = proc_s[:, None, :] * utilization_peak / np.maximum(
             1e-6, 1.0 - np.minimum(utilization_peak, 0.999)
         )
-        latency_s = fill_s + proc_s[:, None] + queue_s
+        latency_s = fill_s + proc_s[:, None, :] + queue_s
 
         return BatchTelemetry(
             dt_s=dt_s,
-            packet_bytes=packet_bytes,
+            packet_bytes=pkt,
             offered_pps=offered,
             achieved_pps=achieved,
-            throughput_gbps=pps_to_gbps(achieved, packet_bytes),
+            throughput_gbps=pps_to_gbps(achieved, pkt[None, None, :]),
             llc_miss_rate_per_s=miss_rate,
             cpu_utilization=cpu_utilization,
             cpu_cores_busy=total_busy,
@@ -846,8 +1378,164 @@ class PacketEngine:
             misses_per_packet=misses_pp,
             service_rate_pps=rates,
             nf_utilization=util,
-            nf_names=profile.names,
+            nf_names=stack.profiles[0].names,
         )
+
+    def compile_chains(
+        self,
+        stack: ChainStack,
+        knobs_grid,
+        *,
+        llc_bytes=None,
+        contention=None,
+    ) -> "ChainKernelPlan":
+        """Precompute the load-independent half of multi-chain stepping.
+
+        Per-NF costs, service rates, ring absorb rates and NIC caps
+        depend only on (chains, knobs, LLC grants, contention) — not on
+        the interval's offered load — so they are evaluated once here;
+        :meth:`ChainKernelPlan.step` then prices each interval with a
+        handful of vectorized ops.  Nodes cache one plan per
+        knob/deployment generation, which is what makes steady-state
+        multi-chain stepping cheap.
+        """
+        share, freq, llc_frac, dma_bytes, batch = _knob_arrays(knobs_grid)
+        if share.shape[0] != stack.rows:
+            raise ValueError("need one knob setting per stacked chain")
+        eff_llc, eff_contention = self._resolve_llc_contention(
+            share, llc_frac, llc_bytes, contention
+        )
+
+        cpps, misses_pp = self._chain_costs(
+            stack,
+            batch[:, None],
+            dma_bytes[:, None],
+            eff_llc[:, None],
+            eff_contention[:, None],
+        )
+        valid = stack.valid
+        if valid is not None:
+            # Padded lanes carry the per-call overhead terms; zero them so
+            # sums and mins see only real NFs.
+            cpps = np.where(valid, cpps, 0.0)
+            misses_pp = np.where(valid, misses_pp, 0.0)
+        pkt = stack.packet_bytes[:, 0]  # (R,)
+
+        # Pipeline service rates.
+        freq_hz = freq * 1e9
+        capacity = share * freq_hz  # (R,)
+        if valid is None:
+            rates = capacity[:, None] / cpps  # (R, n)
+            chain_rate = rates.min(axis=1)
+        else:
+            rates = capacity[:, None] / np.where(valid, cpps, 1.0)
+            chain_rate = np.where(valid, rates, np.inf).min(axis=1)
+            rates = np.where(valid, rates, 0.0)
+
+        # Receive-livelock constants of NF 0.
+        rx = self.params.rx_drop_cycles
+        cpp0 = cpps[:, 0]
+        livelock_able = cpp0 > rx
+        livelock_denom = np.where(livelock_able, cpp0 - rx, 1.0)
+
+        # NIC line rate and rx-ring absorb rate per chain.
+        nic_cap = self.server.nic.max_pps(pkt)
+        absorb_pps = self.dma_model.absorb_rate_pps(dma_bytes, pkt)
+
+        proc_s = np.where(
+            freq_hz > 0,
+            np.sum(cpps, axis=1) / np.where(freq_hz > 0, freq_hz, 1.0),
+            np.inf,
+        )
+        total_misses_pp = np.sum(misses_pp, axis=1)
+        allocated_cores = share * stack.n_nfs + self.params.infra_cores
+        infra_util = (
+            self.params.infra_util_poll
+            if self.polling == PollingMode.POLL
+            else self.params.infra_util_adaptive
+        )
+        if self.polling == PollingMode.POLL:
+            util_poll = np.broadcast_to(
+                np.where(share > 0, 1.0, 0.0)[:, None], cpps.shape
+            ).copy()
+            if valid is not None:
+                util_poll = np.where(valid, util_poll, 0.0)
+            busy_poll = np.sum(share[:, None] * util_poll, axis=1)
+        else:
+            util_poll = None
+            busy_poll = None
+
+        # The cached arrays are aliased into every MultiChainTelemetry the
+        # plan produces; freeze them so an in-place write on a telemetry
+        # object cannot corrupt the plan for later intervals.
+        for arr in (cpps, misses_pp, rates, chain_rate, nic_cap,
+                    absorb_pps, proc_s, total_misses_pp):
+            if arr.flags.writeable:
+                arr.flags.writeable = False
+        return ChainKernelPlan(
+            engine=self,
+            stack=stack,
+            share=share,
+            freq=freq,
+            batch=batch,
+            capacity=capacity,
+            cpps=cpps,
+            misses_pp=misses_pp,
+            rates=rates,
+            chain_rate=chain_rate,
+            livelock_able=livelock_able,
+            livelock_denom=livelock_denom,
+            nic_cap=nic_cap,
+            absorb_pps=absorb_pps,
+            proc_s=proc_s,
+            total_misses_pp=total_misses_pp,
+            allocated_cores=allocated_cores,
+            infra_busy=self.params.infra_cores * infra_util,
+            util_poll=util_poll,
+            busy_poll=busy_poll,
+        )
+
+    def step_chains(
+        self,
+        stack: ChainStack,
+        knobs_grid,
+        offered_grid,
+        dt_s: float = 1.0,
+        *,
+        llc_bytes=None,
+        contention=None,
+        include_power: bool = True,
+    ) -> MultiChainTelemetry:
+        """Step R chains diagonally — each at its own knobs/load — at once.
+
+        This is the multi-chain node's hot path: one vectorized pass
+        replaces R scalar :meth:`step` calls.  Row ``r`` of the result
+        is numerically equivalent (<= 1 ulp) to
+        ``step(stack.profiles[r], knobs_grid[r], offered_grid[r], ...)``.
+        One-shot convenience over :meth:`compile_chains` +
+        :meth:`ChainKernelPlan.step`; callers stepping the same knobs
+        repeatedly should hold on to the plan instead.
+
+        Parameters
+        ----------
+        stack:
+            The hosted chains' profiles (one row per chain, each at its
+            own packet size); see :func:`chain_stack`.
+        knobs_grid:
+            R knob settings (sequence of :class:`KnobSettings` or an
+            ``(R, 5)`` array), one per chain.
+        offered_grid:
+            Offered packet rates, shape ``(R,)``.
+        llc_bytes:
+            Per-chain granted LLC capacity, shape ``(R,)``; default
+            derives it from each setting's ``llc_fraction``.
+        contention:
+            Cross-chain miss multiplier — scalar or ``(R,)``.
+        """
+        plan = self.compile_chains(
+            stack, knobs_grid, llc_bytes=llc_bytes, contention=contention
+        )
+        return plan.step(offered_grid, dt_s, include_power=include_power)
 
     def fixed_volume_energy(
         self,

@@ -21,7 +21,14 @@ from repro.hw.cpu import CpuFreqController, Governor
 from repro.hw.power import EnergyMeter, ServerPowerModel
 from repro.hw.server import ServerSpec
 from repro.nfv.chain import ServiceChain
-from repro.nfv.engine import EngineParams, PacketEngine, PollingMode, TelemetrySample
+from repro.nfv.engine import (
+    EngineParams,
+    MultiChainTelemetry,
+    PacketEngine,
+    PollingMode,
+    TelemetrySample,
+    chain_stack,
+)
 from repro.nfv.knobs import DEFAULT_RANGES, KnobRanges, KnobSettings
 from repro.nfv.rings import FluidRing
 
@@ -66,6 +73,22 @@ class Node:
         self.meter = EnergyMeter()
         self._chains: dict[str, HostedChain] = {}
         self._last_grants: dict[str, int] | None = None
+        #: Raw kernel telemetry of the most recent interval (array form
+        #: of the per-chain samples), for array-native consumers.  It is
+        #: ``None`` whenever the interval ran the scalar fallback — every
+        #: first sight of a knob/deployment configuration, i.e. all of a
+        #: knob-churning RL rollout — so callers must handle the cold
+        #: path (or fold the sample dicts via ``aggregate_samples``).
+        self.last_multi: MultiChainTelemetry | None = None
+        # Compiled-kernel cache: the engine's load-independent chain plan
+        # is reused until the deployment/knob generation (or the offered
+        # packet sizes) change.
+        self._config_gen = 0
+        self._plan_key: tuple | None = None
+        self._plan = None
+        self._plan_candidate: tuple | None = None
+        self._demand_key: tuple | None = None
+        self._contention = 1.0
 
     # -- deployment --------------------------------------------------------
 
@@ -81,6 +104,15 @@ class Node:
         self.cache.clear()
         self.meter.reset()
         self._last_grants = None
+        self.last_multi = None
+        self._invalidate_plan()
+
+    def _invalidate_plan(self) -> None:
+        """Drop the compiled stepping plan (deployment or knobs changed)."""
+        self._config_gen += 1
+        self._plan_key = None
+        self._plan = None
+        self._demand_key = None
 
     @property
     def chains(self) -> dict[str, HostedChain]:
@@ -94,6 +126,7 @@ class Node:
         hosted = HostedChain(chain=chain, knobs=(knobs or KnobSettings()).clamped(self.ranges, self.server.cpu))
         self._chains[chain.name] = hosted
         self._repartition_llc()
+        self._invalidate_plan()
         return hosted
 
     def undeploy(self, name: str) -> None:
@@ -103,6 +136,7 @@ class Node:
         del self._chains[name]
         if self._chains:
             self._repartition_llc()
+        self._invalidate_plan()
 
     def apply_knobs(self, name: str, knobs: KnobSettings) -> KnobSettings:
         """Apply (clamped) knob settings to a chain; returns what stuck.
@@ -113,8 +147,10 @@ class Node:
         if name not in self._chains:
             raise KeyError(f"no chain {name!r} on this node")
         applied = knobs.clamped(self.ranges, self.server.cpu)
-        self._chains[name].knobs = applied
-        self._repartition_llc()
+        if applied != self._chains[name].knobs:
+            self._chains[name].knobs = applied
+            self._repartition_llc()
+            self._invalidate_plan()
         return applied
 
     def _repartition_llc(self) -> None:
@@ -160,7 +196,31 @@ class Node:
         offered: dict[str, tuple[float, float]],
         dt_s: float = 1.0,
     ) -> dict[str, TelemetrySample]:
-        """Advance one control interval.
+        """Advance one control interval with the chains' current knobs.
+
+        Thin wrapper over :meth:`step_all` (the multi-chain kernel) kept
+        for the established call sites; see there for semantics.
+        """
+        return self.step_all(offered, dt_s)
+
+    def step_all(
+        self,
+        offered: dict[str, tuple[float, float]],
+        dt_s: float = 1.0,
+        *,
+        knobs: dict[str, KnobSettings] | None = None,
+    ) -> dict[str, TelemetrySample]:
+        """Advance one control interval, stepping every chain in one pass.
+
+        All hosted chains are evaluated through the vectorized
+        multi-chain kernel (stacked chain profiles, shared
+        LLC-repartition math, batched cache/DMA/power model
+        evaluations): a cached
+        :class:`~repro.nfv.engine.ChainKernelPlan` prices the interval
+        when the knob/deployment configuration has been seen before,
+        and a configuration on first sight runs the equivalent scalar
+        per-chain loop; every path matches the scalar engine to
+        <= 1 ulp.
 
         Parameters
         ----------
@@ -169,6 +229,10 @@ class Node:
             interval.
         dt_s:
             Interval length in seconds.
+        knobs:
+            Optional per-chain knob settings applied (clamped, CAT
+            repartitioned) before the interval runs — the joint-action
+            path of the multi-chain environments.
 
         Returns per-chain telemetry.  Node power is computed once from
         the union of busy cores and attributed to chains proportionally
@@ -176,24 +240,43 @@ class Node:
         """
         if dt_s <= 0:
             raise ValueError("dt must be positive")
+        if knobs:
+            for name, settings in knobs.items():
+                self.apply_knobs(name, settings)
         unknown = set(offered) - set(self._chains)
         if unknown:
             raise KeyError(f"offered traffic for unknown chains: {sorted(unknown)}")
 
-        # Cross-chain contention from aggregate LLC demand.
-        total_demand = 0.0
-        for name, hosted in self._chains.items():
+        loads: list[float] = []
+        pkts: list[float] = []
+        for name in self._chains:
             pps, pkt = offered.get(name, (0.0, 1518.0))
-            total_demand += (
-                hosted.knobs.batch_size * pkt
-                + hosted.chain.total_state_bytes
-                + hosted.knobs.dma_bytes * 0.25
-            )
-        contention = contention_factor(total_demand, self.server.llc.size_bytes)
+            loads.append(pps)
+            pkts.append(pkt)
+        pkts_t = tuple(pkts)
 
-        # First pass: per-chain physics without power.  The ONVM Rx/Tx
-        # infra threads exist once per node, so their busy/allocated
-        # contribution (which each engine sample includes) is de-duplicated.
+        # Cross-chain contention from aggregate LLC demand.  The demand
+        # depends only on knobs, resident state and frame sizes — not on
+        # the offered rates — so it is cached with the compiled plan.
+        demand_key = (self._config_gen, pkts_t)
+        if self._demand_key != demand_key:
+            total_demand = 0.0
+            for pkt, hosted in zip(pkts, self._chains.values()):
+                total_demand += (
+                    hosted.knobs.batch_size * pkt
+                    + hosted.chain.total_state_bytes
+                    + hosted.knobs.dma_bytes * 0.25
+                )
+            self._demand_key = demand_key
+            self._contention = contention_factor(
+                total_demand, self.server.llc.size_bytes
+            )
+        contention = self._contention
+
+        # One kernel pass: per-chain physics without power.  The ONVM
+        # Rx/Tx infra threads exist once per node, so their
+        # busy/allocated contribution (which each engine sample includes)
+        # is de-duplicated below.
         params = self.engine.params
         infra_util = (
             params.infra_util_poll
@@ -201,24 +284,57 @@ class Node:
             else params.infra_util_adaptive
         )
         infra_busy = params.infra_cores * infra_util
+        # Kernel dispatch.  Compiling the load-independent plan only pays
+        # off when the (deployment, knobs, frame sizes) configuration is
+        # stepped more than once, so a plan is compiled the second time
+        # a configuration shows up; an unseen configuration runs through
+        # the scalar per-chain loop (bit-identical, and cheaper for the
+        # knob-churning RL training loops that never revisit a setting).
+        plan_key = (self._config_gen, pkts_t, contention)
+        multi: MultiChainTelemetry | None = None
+        if not self._chains:
+            pass  # nothing to stack; the loop below is a no-op
+        elif self._plan_key == plan_key:
+            multi = self._plan.step(loads, dt_s, include_power=False)
+        elif self._plan_candidate == plan_key:
+            hosted_list = list(self._chains.values())
+            stack = chain_stack(
+                tuple(h.chain for h in hosted_list),
+                pkts_t,
+                self.server.llc.line_bytes,
+            )
+            self._plan = self.engine.compile_chains(
+                stack,
+                [h.knobs for h in hosted_list],
+                llc_bytes=[self.cache.allocated_bytes(n) for n in self._chains],
+                contention=contention,
+            )
+            self._plan_key = plan_key
+            multi = self._plan.step(loads, dt_s, include_power=False)
+        else:
+            self._plan_candidate = plan_key
+
         samples: dict[str, TelemetrySample] = {}
         busy_cores_total = infra_busy
         allocated_total = params.infra_cores
-        for name, hosted in self._chains.items():
-            pps, pkt = offered.get(name, (0.0, 1518.0))
-            sample = self.engine.step(
-                hosted.chain,
-                hosted.knobs,
-                pps,
-                pkt,
-                dt_s,
-                llc_bytes=self.llc_bytes_for(name),
-                contention=contention,
-                include_power=False,
-            )
+        chain_samples = multi.samples() if multi is not None else None
+        for i, (name, hosted) in enumerate(self._chains.items()):
+            if chain_samples is not None:
+                sample = chain_samples[i]
+            else:
+                sample = self.engine.step(
+                    hosted.chain,
+                    hosted.knobs,
+                    loads[i],
+                    pkts[i],
+                    dt_s,
+                    llc_bytes=self.cache.allocated_bytes(name),
+                    contention=contention,
+                    include_power=False,
+                )
             # Route through the rx fluid ring for drop/latency accounting.
             hosted.rx_ring.offer(
-                min(pps, sample.achieved_pps + sample.dropped_pps),
+                min(loads[i], sample.achieved_pps + sample.dropped_pps),
                 max(sample.achieved_pps, 1.0),
                 dt_s,
             )
@@ -238,13 +354,21 @@ class Node:
             name: max(s.cpu_cores_busy, 1e-9) for name, s in samples.items()
         }
         wsum = sum(weights.values())
-        for name, sample in samples.items():
+        for i, (name, sample) in enumerate(samples.items()):
             share = weights[name] / wsum if wsum > 0 else 1.0 / len(samples)
             sample.power_w = power_w * share
             sample.energy_j = energy_j * share
+            if multi is not None:
+                # Mirror the attribution into the kernel arrays so
+                # aggregate consumers (the multi-chain env) see priced
+                # telemetry.
+                multi.power_w[i] = sample.power_w
+                multi.energy_j[i] = sample.energy_j
             hosted = self._chains[name]
             hosted.meter.record(sample.power_w, dt_s, sample.achieved_pps * dt_s)
             hosted.last_sample = sample
+        # Stale kernel telemetry must never outlive its interval.
+        self.last_multi = multi
         return samples
 
     def node_power_w(self) -> float:

@@ -27,7 +27,7 @@ across worker processes with per-spec seeds and one JSON artifact per
 spec.
 """
 
-from repro.scenario.catalog import CHAINS, CONTROLLERS, SLAS, TRAFFIC
+from repro.scenario.catalog import CHAINS, CONTROLLERS, GRIDS, SLAS, TRAFFIC
 from repro.scenario.controllers import (
     RunContext,
     ScenarioController,
@@ -36,21 +36,26 @@ from repro.scenario.controllers import (
 from repro.scenario.presets import SCENARIOS, SWEEPS, quick_spec
 from repro.scenario.registry import Registry
 from repro.scenario.runner import (
+    SCAN_OBJECTIVES,
     RunResult,
     SweepRunner,
     build_context,
     run,
     run_sweep,
+    scan_knob_grid,
+    scan_report,
 )
 from repro.scenario.spec import ScenarioSpec, expand_grid
 
 __all__ = [
     "CHAINS",
     "CONTROLLERS",
+    "GRIDS",
     "SLAS",
     "TRAFFIC",
     "SCENARIOS",
     "SWEEPS",
+    "SCAN_OBJECTIVES",
     "Registry",
     "RunContext",
     "RunResult",
@@ -63,4 +68,6 @@ __all__ = [
     "quick_spec",
     "run",
     "run_sweep",
+    "scan_knob_grid",
+    "scan_report",
 ]

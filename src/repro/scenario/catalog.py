@@ -15,6 +15,9 @@ The four registries are the scenario layer's extension points:
 * :data:`CONTROLLERS` — controller id -> factory returning a
   :class:`~repro.scenario.controllers.ScenarioController`.  Populated by
   :mod:`repro.scenario.controllers`.
+* :data:`GRIDS` — knob-grid preset id -> zero-argument factory returning
+  a list of :class:`~repro.nfv.knobs.KnobSettings` candidates, used by
+  the ``scan`` CLI subcommand and the grid-search baselines.
 
 All factories are plain callables taking keyword arguments that come
 straight from a spec's ``*_params`` dict, so everything here is reachable
@@ -46,6 +49,7 @@ SLAS = Registry("SLA")
 CHAINS = Registry("chain preset")
 TRAFFIC = Registry("traffic model")
 CONTROLLERS = Registry("controller")
+GRIDS = Registry("knob grid")
 
 
 # -- SLAs ---------------------------------------------------------------------
@@ -163,3 +167,28 @@ def _trace(trace_pps, **params):
     """Replay an explicit per-interval rate trace."""
     sizes = _sizes(params)
     return TraceReplayGenerator(tuple(trace_pps), packet_sizes=sizes, **params)
+
+
+# -- knob-grid presets ---------------------------------------------------------
+
+
+@GRIDS.register("coarse")
+def _coarse_grid():
+    """The oracle baseline's full-factorial grid (432 candidates)."""
+    from repro.baselines.oracle import default_knob_grid
+
+    return default_knob_grid()
+
+
+@GRIDS.register("fine")
+def _fine_grid():
+    """A denser factorial grid (8,820 candidates) for capacity studies."""
+    from repro.baselines.oracle import default_knob_grid
+
+    return default_knob_grid(
+        shares=(0.25, 0.5, 0.75, 1.0, 1.25, 1.5),
+        freqs=(1.2, 1.35, 1.5, 1.65, 1.8, 1.95, 2.1),
+        llc_fractions=(0.05, 0.1, 0.2, 0.35, 0.5, 0.65, 0.8),
+        dma_mbs=(1.0, 4.0, 8.0, 16.0, 32.0),
+        batches=(8, 16, 32, 96, 192, 256),
+    )

@@ -63,6 +63,20 @@ def ee_pstate() -> ScenarioSpec:
     return _paper_spec("ee-pstate", "ee-pstate", "energy_efficiency")
 
 
+@SCENARIOS.register("oracle-static")
+def oracle_static() -> ScenarioSpec:
+    """Best fixed configuration by vectorized exhaustive knob search.
+
+    The upper bound for every static policy: one ``step_batch`` grid
+    sweep picks the winning setting, which then holds for the whole
+    measurement horizon.
+    """
+    return _paper_spec(
+        "oracle-static", "oracle-static", "energy_efficiency",
+        episodes=1, test_every=1,
+    )
+
+
 @SCENARIOS.register("qlearning")
 def qlearning() -> ScenarioSpec:
     """Tabular Q-learning under the Maximum-Throughput SLA."""

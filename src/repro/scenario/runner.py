@@ -26,6 +26,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.baselines.oracle import OBJECTIVES, score_candidates
 from repro.nfv.engine import EngineParams
 from repro.scenario.catalog import CHAINS, CONTROLLERS, SLAS, TRAFFIC
 from repro.scenario.controllers import RunContext, ScenarioController, TimelinePoint
@@ -250,7 +251,7 @@ def scan_knob_grid(
     knobs_grid,
     offered_grid=None,
     *,
-    packet_bytes: float | None = None,
+    packet_bytes=None,
 ):
     """Evaluate a knob grid against a spec's workload in one vectorized call.
 
@@ -258,10 +259,13 @@ def scan_knob_grid(
     then hands the whole K-knob x L-load grid to
     :meth:`~repro.nfv.engine.PacketEngine.step_batch`.  When
     ``offered_grid`` is omitted, the spec's traffic model supplies one
-    representative interval load.  This is the open-loop surface scan
-    behind knob-search baselines and capacity studies — thousands of
-    candidate configurations in a single engine invocation, no
-    controller in the loop.
+    representative interval load.  ``packet_bytes`` may be one frame
+    size (default: the traffic model's mean) or a sequence of sizes, in
+    which case the whole knobs x loads x packet-sizes grid is evaluated
+    in the same single call.  This is the open-loop surface scan behind
+    knob-search baselines and capacity studies — thousands of candidate
+    configurations in a single engine invocation, no controller in the
+    loop.
 
     Returns the :class:`~repro.nfv.engine.BatchTelemetry` for the grid.
     """
@@ -278,6 +282,110 @@ def scan_knob_grid(
     return engine.step_batch(
         ctx.chain, knobs_grid, offered_grid, packet_bytes, spec.interval_s
     )
+
+
+#: Scan-artifact schema version (bump on layout changes).
+SCAN_FORMAT_VERSION = 1
+
+#: Supported scan-ranking objectives (all maximized); shared with the
+#: oracle-static baseline so the two grid searches cannot diverge on
+#: what an objective name means.
+SCAN_OBJECTIVES = OBJECTIVES
+
+
+def scan_report(
+    spec: ScenarioSpec,
+    knobs_grid,
+    telemetry,
+    *,
+    objective: str = "energy_efficiency",
+    top: int = 10,
+    min_delivery: float = 0.5,
+) -> dict[str, Any]:
+    """Rank a scanned knob grid and build the JSON-ready scan artifact.
+
+    ``telemetry`` is the :class:`~repro.nfv.engine.BatchTelemetry` that
+    :func:`scan_knob_grid` produced for ``knobs_grid``.  Each candidate's
+    score is the chosen objective averaged over every non-knob grid axis
+    (loads, and packet sizes when the scan carried that axis):
+    ``energy_efficiency`` (Eq. 3, maximized), ``max_throughput``
+    (energy-tiebroken), or ``min_energy`` — which, exactly like the
+    ``oracle-static`` search, only considers candidates that keep at
+    least ``min_delivery`` of the offered load flowing (otherwise the
+    "winner" would always be the weakest setting, dropping the traffic
+    it was meant to carry cheaply).
+    """
+    if objective not in SCAN_OBJECTIVES:
+        raise ValueError(
+            f"unknown scan objective {objective!r}; options: {SCAN_OBJECTIVES}"
+        )
+    if top < 1:
+        raise ValueError("top must be >= 1")
+    if not 0.0 <= min_delivery <= 1.0:
+        raise ValueError("min_delivery must be in [0, 1]")
+    knobs_list = list(knobs_grid)
+    if len(knobs_list) != telemetry.shape[0]:
+        raise ValueError("knob grid and telemetry disagree on K")
+    axes = tuple(range(1, telemetry.achieved_pps.ndim))
+    thr = telemetry.throughput_gbps.mean(axis=axes)
+    energy = telemetry.energy_j.mean(axis=axes)
+    eff = telemetry.energy_efficiency
+    eff = np.where(np.isfinite(eff), eff, 0.0).mean(axis=axes)
+    offered = np.atleast_1d(telemetry.offered_pps)
+    if telemetry.achieved_pps.ndim == 3:
+        offered_grid = offered[None, :, None]
+    else:
+        offered_grid = offered[None, :]
+    delivered_frac = np.where(
+        offered_grid > 0,
+        telemetry.achieved_pps / np.where(offered_grid > 0, offered_grid, 1.0),
+        1.0,
+    ).mean(axis=axes)
+    score = score_candidates(
+        objective,
+        throughput=thr,
+        energy=energy,
+        energy_efficiency=eff,
+        delivered_frac=delivered_frac,
+        min_delivery=min_delivery,
+    )
+    order = np.argsort(-score, kind="stable")[:top]
+    latency = telemetry.latency_s.mean(axis=axes)
+    dropped = telemetry.dropped_pps.mean(axis=axes)
+    results = []
+    for rank, idx in enumerate(int(i) for i in order):
+        k = knobs_list[idx]
+        results.append(
+            {
+                "rank": rank + 1,
+                "knobs": {
+                    "cpu_share": k.cpu_share,
+                    "cpu_freq_ghz": k.cpu_freq_ghz,
+                    "llc_fraction": k.llc_fraction,
+                    "dma_mb": k.dma_mb,
+                    "batch_size": int(k.batch_size),
+                },
+                "score": float(score[idx]),
+                "mean_throughput_gbps": float(thr[idx]),
+                "mean_energy_j": float(energy[idx]),
+                "mean_energy_efficiency": float(eff[idx]),
+                "mean_latency_s": float(latency[idx]),
+                "mean_dropped_pps": float(dropped[idx]),
+                "mean_delivered_frac": float(delivered_frac[idx]),
+            }
+        )
+    pkt = telemetry.packet_bytes
+    return {
+        "format_version": SCAN_FORMAT_VERSION,
+        "scenario": spec.name,
+        "spec": spec.to_dict(),
+        "objective": objective,
+        "min_delivery": min_delivery,
+        "grid_size": len(knobs_list),
+        "offered_pps": [float(x) for x in np.atleast_1d(telemetry.offered_pps)],
+        "packet_bytes": [float(x) for x in np.atleast_1d(pkt)],
+        "results": results,
+    }
 
 
 # -- parallel sweeps -----------------------------------------------------------

@@ -163,9 +163,11 @@ class SdnController:
     def run_interval(self) -> dict[str, TelemetrySample]:
         """One cooperative interval: route flows, run nodes, re-steer.
 
-        Nodes are stepped with the current steering table's aggregates;
-        the returned telemetry updates the replicas and drives the
-        steering decisions for the *next* interval.
+        Nodes are stepped with the current steering table's aggregates —
+        every replica sharing a node is evaluated in that node's single
+        :meth:`~repro.nfv.node.Node.step_all` kernel pass — and the
+        returned telemetry updates the replicas and drives the steering
+        decisions for the *next* interval.
         """
         offered = self.offered_per_chain(self.interval_s)
         # Group chains by node so multi-replica nodes step once.
@@ -177,7 +179,7 @@ class SdnController:
             by_node[node_id][1][name] = offered[name]
         samples: dict[str, TelemetrySample] = {}
         for node, node_offered in by_node.values():
-            samples.update(node.step(node_offered, self.interval_s))
+            samples.update(node.step_all(node_offered, self.interval_s))
         for name, replica in self._replicas.items():
             replica.last_sample = samples[name]
         self._t += self.interval_s

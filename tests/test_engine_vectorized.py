@@ -275,6 +275,82 @@ class TestBatchEquivalence:
             engine.step_batch(chain, np.zeros((2, 4)), [1e5], 1518.0)
 
 
+class TestPacketAxis:
+    """``step_batch`` over a packet-size axis vs. per-size scalar calls."""
+
+    @pytest.mark.parametrize("polling", [PollingMode.ADAPTIVE, PollingMode.POLL])
+    @pytest.mark.parametrize("cat", [True, False])
+    def test_matches_per_size_batches(self, polling, cat):
+        rng = np.random.default_rng(17)
+        engine = PacketEngine(polling=polling, cat_enabled=cat)
+        chain = heavy_chain()
+        grid = [random_knobs(rng) for _ in range(6)]
+        loads = np.linspace(1e5, 2e6, 4)
+        pkts = [64.0, 512.0, 1518.0]
+        bt3 = engine.step_batch(chain, grid, loads, pkts, 1.0)
+        assert bt3.shape == (6, 4, 3)
+        for p, pkt in enumerate(pkts):
+            bt2 = engine.step_batch(chain, grid, loads, pkt, 1.0)
+            for field in (
+                "achieved_pps",
+                "throughput_gbps",
+                "llc_miss_rate_per_s",
+                "cpu_utilization",
+                "cpu_cores_busy",
+                "power_w",
+                "energy_j",
+                "dropped_pps",
+                "latency_s",
+            ):
+                np.testing.assert_array_max_ulp(
+                    getattr(bt3, field)[:, :, p], getattr(bt2, field), maxulp=1
+                )
+            np.testing.assert_array_max_ulp(
+                bt3.cycles_per_packet[:, p, :], bt2.cycles_per_packet, maxulp=1
+            )
+            np.testing.assert_array_max_ulp(
+                bt3.chain_rate_pps[:, p], bt2.chain_rate_pps, maxulp=1
+            )
+            np.testing.assert_array_max_ulp(
+                bt3.nf_utilization[:, :, p, :], bt2.nf_utilization, maxulp=1
+            )
+
+    def test_sample_requires_packet_index(self):
+        engine = PacketEngine()
+        chain = default_chain()
+        bt3 = engine.step_batch(chain, [KnobSettings()], [1e5], [64.0, 1518.0])
+        with pytest.raises(ValueError, match="packet-size axis"):
+            bt3.sample(0, 0)
+        sample = bt3.sample(0, 0, 1)
+        assert sample.packet_bytes == 1518.0
+        bt2 = engine.step_batch(chain, [KnobSettings()], [1e5], 1518.0)
+        with pytest.raises(ValueError, match="no packet-size axis"):
+            bt2.sample(0, 0, 0)
+        assert sample == bt2.sample(0, 0)
+
+    def test_single_size_axis_matches_scalar(self):
+        engine = PacketEngine()
+        chain = default_chain()
+        grid = [random_knobs(np.random.default_rng(3)) for _ in range(4)]
+        loads = [2e5, 8e5]
+        bt1 = engine.step_batch(chain, grid, loads, [512.0])
+        bt0 = engine.step_batch(chain, grid, loads, 512.0)
+        np.testing.assert_array_max_ulp(
+            bt1.achieved_pps[:, :, 0], bt0.achieved_pps, maxulp=1
+        )
+        np.testing.assert_array_max_ulp(bt1.power_w[:, :, 0], bt0.power_w, maxulp=1)
+
+    def test_validation(self):
+        engine = PacketEngine()
+        chain = default_chain()
+        with pytest.raises(ValueError):
+            engine.step_batch(chain, [KnobSettings()], [1e5], [64.0, -1.0])
+        with pytest.raises(ValueError):
+            engine.step_batch(chain, [KnobSettings()], [1e5], [])
+        with pytest.raises(ValueError):
+            engine.step_batch(chain, [KnobSettings()], [-1.0], [64.0])
+
+
 class TestChainProfile:
     def test_profile_is_cached(self):
         chain = default_chain()

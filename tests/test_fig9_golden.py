@@ -1,0 +1,88 @@
+"""Regression lock on ``fig9 --quick`` output against committed goldens.
+
+The multi-chain kernel (and any future vectorization) must not drift
+the paper-figure results: this suite reruns the Fig. 9 comparison at
+the CLI's ``--quick`` budgets — with and without the ``oracle-static``
+upper-bound bar — and compares every entry against golden JSON files
+committed under ``tests/golden/``.  Tolerance is near-bit (1e-9
+relative): the training seeds are fixed and the stack is deterministic,
+so any larger difference means the physics or the RNG stream changed,
+not the layout.
+
+Regenerate after an *intentional* change with::
+
+    PYTHONPATH=src python tests/test_fig9_golden.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, QUICK_BUDGETS
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
+CASES = {
+    "fig9": GOLDEN_DIR / "fig9_quick.json",
+    "fig9-oracle": GOLDEN_DIR / "fig9_oracle_quick.json",
+}
+RTOL = 1e-9
+
+
+def run_entries(experiment_id: str) -> list[dict]:
+    result, _ = EXPERIMENTS[experiment_id](**QUICK_BUDGETS[experiment_id])
+    return [
+        {
+            "name": e.name,
+            "throughput_gbps": e.throughput_gbps,
+            "energy_j": e.energy_j,
+            "energy_efficiency": e.energy_efficiency,
+        }
+        for e in result.entries
+    ]
+
+
+@pytest.mark.parametrize("experiment_id", sorted(CASES))
+def test_fig9_quick_matches_golden(experiment_id):
+    golden_path = CASES[experiment_id]
+    assert golden_path.exists(), (
+        f"missing golden {golden_path}; regenerate with "
+        "`PYTHONPATH=src python tests/test_fig9_golden.py --regen`"
+    )
+    golden = json.loads(golden_path.read_text())
+    entries = run_entries(experiment_id)
+    assert [e["name"] for e in entries] == [e["name"] for e in golden]
+    for got, ref in zip(entries, golden):
+        for key in ("throughput_gbps", "energy_j", "energy_efficiency"):
+            np.testing.assert_allclose(
+                got[key], ref[key], rtol=RTOL, atol=0.0,
+                err_msg=f"{experiment_id}: {got['name']}.{key} drifted",
+            )
+
+
+def test_oracle_bar_is_additive():
+    # The oracle line-up is the paper's seven bars plus exactly one more;
+    # the original seven must be untouched by the opt-in flag.
+    seven = json.loads(CASES["fig9"].read_text())
+    eight = json.loads(CASES["fig9-oracle"].read_text())
+    assert len(eight) == len(seven) + 1
+    assert eight[:-1] == seven
+    assert eight[-1]["name"] == "Oracle-Static"
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for experiment_id, path in CASES.items():
+        entries = run_entries(experiment_id)
+        path.write_text(json.dumps(entries, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {path} ({len(entries)} entries)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

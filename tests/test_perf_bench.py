@@ -27,7 +27,8 @@ def bench_mod():
     return mod
 
 
-def _result(slice_speedup=2.5, grid_speedup=30.0, seconds=0.1, mode="quick", calib=0.05):
+def _result(slice_speedup=2.5, grid_speedup=30.0, multi_speedup=6.0,
+            seconds=0.1, mode="quick", calib=0.05):
     return {
         "format_version": 1,
         "mode": mode,
@@ -36,6 +37,11 @@ def _result(slice_speedup=2.5, grid_speedup=30.0, seconds=0.1, mode="quick", cal
             "engine_batch_grid": {
                 "seconds": seconds,
                 "speedup": grid_speedup,
+                "criterion_min_speedup": 5.0,
+            },
+            "multi_chain_grid": {
+                "seconds": seconds,
+                "speedup": multi_speedup,
                 "criterion_min_speedup": 5.0,
             },
             "training_slice": {
@@ -54,13 +60,19 @@ class TestCheckAgainst:
     def test_fails_on_slowdown(self, bench_mod):
         slow = _result(seconds=0.5)
         problems = bench_mod.check_against(slow, _result(seconds=0.1), 2.0)
-        assert len(problems) == 2
+        assert len(problems) == 3
         assert all("baseline" in p for p in problems)
 
     def test_fails_on_missed_criterion(self, bench_mod):
         bad = _result(slice_speedup=1.0)
         problems = bench_mod.check_against(bad, _result(), 2.0)
         assert any("criterion" in p for p in problems)
+
+    def test_fails_on_missed_multi_chain_criterion(self, bench_mod):
+        # The multi-chain kernel gate: >= 5x over the per-chain loop.
+        bad = _result(multi_speedup=3.0)
+        problems = bench_mod.check_against(bad, _result(), 2.0)
+        assert any("multi_chain_grid" in p and "5x criterion" in p for p in problems)
 
     def test_criterion_has_noise_tolerance(self, bench_mod):
         near = _result(slice_speedup=2.0 * bench_mod.CRITERION_TOLERANCE + 0.01)

@@ -103,6 +103,91 @@ class TestSweepCommand:
             cli_main(["sweep", str(path)])
 
 
+class TestScanCommand:
+    def test_scan_preset_writes_schema_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "scan.json"
+        assert cli_main(
+            ["scan", "baseline", "--top", "5", "--out", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top 5 of 432 candidates" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["scenario"] == "baseline"
+        assert payload["objective"] == "energy_efficiency"
+        assert payload["grid_size"] == 432
+        assert len(payload["offered_pps"]) == 1
+        assert len(payload["results"]) == 5
+        scores = [r["score"] for r in payload["results"]]
+        assert scores == sorted(scores, reverse=True)
+        assert [r["rank"] for r in payload["results"]] == [1, 2, 3, 4, 5]
+        for r in payload["results"]:
+            assert set(r["knobs"]) == {
+                "cpu_share", "cpu_freq_ghz", "llc_fraction", "dma_mb", "batch_size",
+            }
+            assert r["mean_throughput_gbps"] > 0
+
+    def test_scan_packet_size_axis(self, tmp_path):
+        out_path = tmp_path / "scan.json"
+        assert cli_main(
+            [
+                "scan", "baseline", "--packet-bytes", "64", "1518",
+                "--loads", "200000", "800000",
+                "--objective", "max_throughput",
+                "--top", "3", "--out", str(out_path),
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["packet_bytes"] == [64.0, 1518.0]
+        assert payload["offered_pps"] == [200000.0, 800000.0]
+        assert payload["objective"] == "max_throughput"
+        assert len(payload["results"]) == 3
+
+    def test_scan_min_energy_respects_delivery_gate(self, tmp_path):
+        # Same semantics as oracle-static: the cheapest *feasible*
+        # setting wins, not the weakest knob vector that drops traffic.
+        out_path = tmp_path / "scan.json"
+        assert cli_main(
+            [
+                "scan", "baseline", "--objective", "min_energy",
+                "--loads", "600000", "--top", "3", "--out", str(out_path),
+            ]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["objective"] == "min_energy"
+        assert payload["min_delivery"] == 0.5
+        for r in payload["results"]:
+            assert r["mean_delivered_frac"] >= 0.5
+
+    def test_scan_spec_file(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(tiny_spec_dict("scan-me")))
+        assert cli_main(["scan", str(spec_path), "--top", "1"]) == 0
+        assert "scan-me" in capsys.readouterr().out
+
+    def test_scan_unknown_grid_is_a_clean_error(self, capsys):
+        assert cli_main(["scan", "baseline", "--grid", "no-such-grid"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unknown knob grid" in err
+
+    def test_scan_bad_args_exit_codes(self, capsys):
+        # Library-level validation -> message + exit 2, no traceback.
+        assert cli_main(["scan", "baseline", "--top", "0"]) == 2
+        assert "--top" in capsys.readouterr().err
+        assert cli_main(["scan", "baseline", "--loads", "-5"]) == 2
+        assert "--loads" in capsys.readouterr().err
+        assert cli_main(["scan", "baseline", "--packet-bytes", "0"]) == 2
+        assert "--packet-bytes" in capsys.readouterr().err
+        # argparse-level validation (unknown objective) exits 2 as well.
+        with pytest.raises(SystemExit) as exc:
+            cli_main(["scan", "baseline", "--objective", "nope"])
+        assert exc.value.code == 2
+
+    def test_scan_unknown_spec_source(self):
+        with pytest.raises(SystemExit, match="neither a spec file"):
+            cli_main(["scan", "no-such-preset"])
+
+
 class TestListCommand:
     def test_list_shows_everything(self, capsys):
         assert cli_main(["list"]) == 0
@@ -113,6 +198,8 @@ class TestListCommand:
         assert "greennfv-maxt" in out
         assert "comparison" in out
         assert "ee-pstate" in out
+        # ...and the scan layer's knob-grid presets.
+        assert "knob grids" in out and "coarse" in out
 
 
 class TestFigCommand:
