@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Hot-path performance suite: engine step, batch grid, replay, training.
 
-Times the four inner loops every experiment funnels through and writes
+Times the six inner loops every experiment funnels through and writes
 ``BENCH_hotpath.json`` so the performance trajectory is tracked across
 PRs:
 
@@ -13,6 +13,9 @@ PRs:
   one-pass ``Node.step_all`` kernel vs. the seed per-chain scalar
   ``Node.step`` loop (the multi-chain env / SDN scaling payoff;
   criterion: >= 5x);
+* ``cluster_grid`` — an 8-node x 4-chain SDN/cluster interval through
+  the fused ``ClusterKernel`` pass vs. the per-node ``step_all`` loop
+  (the multi-node scaling payoff; criterion: >= 3x);
 * ``replay_add_sample`` — prioritized add/sample/update against the
   seed's list + per-leaf-walk implementation (kept in ``reference.py``);
 * ``training_slice`` — a short end-to-end DDPG run vs. the same run with
@@ -22,11 +25,16 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf/bench_hotpath.py --quick \
         [--out BENCH_hotpath.json] \
-        [--check-against benchmarks/perf/BENCH_hotpath.json]
+        [--check-against benchmarks/perf/BENCH_hotpath.json] \
+        [--history benchmarks/perf/BENCH_history.json --pr PR4]
 
 ``--check-against`` compares wall-clock against a committed baseline and
 exits non-zero on a >2x slowdown (tunable with ``--max-slowdown``) or on
-a missed speedup criterion.
+a missed speedup criterion.  ``--history`` appends this run as a
+``{pr, benches}`` record to a trajectory file (one record per PR,
+replacing an existing record with the same label), so cross-PR
+regressions stay visible instead of being overwritten by the latest
+snapshot.
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ FORMAT_VERSION = 1
 CRITERIA = {
     "engine_batch_grid": 5.0,
     "multi_chain_grid": 5.0,
+    "cluster_grid": 3.0,
     "training_slice": 2.0,
 }
 
@@ -210,6 +219,85 @@ def bench_multi_chain_grid(quick: bool, rounds: int) -> dict:
     }
 
 
+def _cluster(n_nodes: int, n_chains: int) -> tuple:
+    """``n_nodes`` nodes x ``n_chains`` chains + the flat offered map."""
+    from repro.nfv.chain import default_chain, heavy_chain, light_chain
+    from repro.nfv.node import Node
+
+    rng = np.random.default_rng(11)
+    kinds = (default_chain, light_chain, heavy_chain)
+    pkts = (64.0, 512.0, 1518.0)
+    nodes, offered = [], {}
+    for j in range(n_nodes):
+        node = Node()
+        for i in range(n_chains):
+            chain = kinds[i % len(kinds)](f"n{j}c{i}")
+            node.deploy(
+                chain,
+                KnobSettings(
+                    cpu_share=float(rng.uniform(0.3, 1.5)),
+                    cpu_freq_ghz=float(rng.uniform(1.2, 2.1)),
+                    llc_fraction=float(rng.uniform(0.05, 1.0 / n_chains)),
+                    dma_mb=float(rng.uniform(1.0, 40.0)),
+                    batch_size=int(rng.integers(1, 257)),
+                ),
+            )
+            offered[chain.name] = (
+                float(rng.uniform(1e5, 2e6)),
+                pkts[i % len(pkts)],
+            )
+        nodes.append(node)
+    return nodes, offered
+
+
+def bench_cluster_grid(quick: bool, rounds: int) -> dict:
+    """An SDN/cluster interval: fused ClusterKernel vs. the per-node loop."""
+    from repro.nfv.cluster_kernel import ClusterKernel
+
+    n_nodes, n_chains = 8, 4
+    n_steps = 30 if quick else 60
+    kernel_nodes, offered = _cluster(n_nodes, n_chains)
+    loop_nodes, _ = _cluster(n_nodes, n_chains)
+    kernel = ClusterKernel(kernel_nodes)
+    per_node_offered = [
+        {name: offered[name] for name in node.chains} for node in loop_nodes
+    ]
+    # Warm both sides so the kernel (and per-node plans) are compiled.
+    for _ in range(2):
+        kernel.step(offered)
+        reference.reference_cluster_step(loop_nodes, per_node_offered)
+
+    def fused():
+        for _ in range(n_steps):
+            kernel.step(offered)
+
+    def loop():
+        for _ in range(n_steps):
+            reference.reference_cluster_step(loop_nodes, per_node_offered)
+
+    # Interleave the two sides so background-load drift hits both
+    # equally; best-of per side is then a fair ratio (the fused side's
+    # window is short, so a one-sided stall would skew a sequential
+    # measurement).
+    fused_s = loop_s = float("inf")
+    for _ in range(max(3, rounds)):
+        t0 = time.perf_counter()
+        fused()
+        fused_s = min(fused_s, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        loop()
+        loop_s = min(loop_s, time.perf_counter() - t0)
+    return {
+        "seconds": fused_s,
+        "nodes": n_nodes,
+        "chains_per_node": n_chains,
+        "steps": n_steps,
+        "reference_seconds": loop_s,
+        "speedup": loop_s / fused_s,
+        "chain_steps_per_second": n_nodes * n_chains * n_steps / fused_s,
+    }
+
+
 def _replay_workload(buf, n_add: int, n_rounds: int, rng: np.random.Generator):
     chunk = 64
     for start in range(0, n_add, chunk):
@@ -315,6 +403,7 @@ BENCHES = {
     "engine_step": bench_engine_step,
     "engine_batch_grid": bench_engine_batch_grid,
     "multi_chain_grid": bench_multi_chain_grid,
+    "cluster_grid": bench_cluster_grid,
     "replay_add_sample": bench_replay,
     "training_slice": bench_training_slice,
 }
@@ -379,6 +468,35 @@ def check_against(result: dict, baseline: dict, max_slowdown: float) -> list[str
     return problems
 
 
+def history_record(result: dict, pr: str) -> dict:
+    """The compact per-PR trajectory record for ``BENCH_history.json``."""
+    return {
+        "pr": pr,
+        "mode": result.get("mode"),
+        "calibration_seconds": result.get("calibration_seconds"),
+        "benches": {
+            name: {
+                "seconds": bench["seconds"],
+                "speedup": bench.get("speedup"),
+            }
+            for name, bench in result["benches"].items()
+        },
+    }
+
+
+def append_history(path: Path, result: dict, pr: str) -> list[dict]:
+    """Append (or replace, by PR label) this run in the trajectory file."""
+    records: list[dict] = []
+    if path.exists():
+        records = json.loads(path.read_text())
+        if not isinstance(records, list):
+            raise ValueError(f"{path} must hold a JSON list of history records")
+    records = [r for r in records if r.get("pr") != pr]
+    records.append(history_record(result, pr))
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true", help="reduced workloads")
@@ -393,6 +511,15 @@ def main(argv: list[str] | None = None) -> int:
         "--max-slowdown", type=float, default=2.0,
         help="fail when a bench is this many times slower than the baseline",
     )
+    parser.add_argument(
+        "--history", default=None,
+        help="append a {pr, benches} record to this trajectory JSON",
+    )
+    parser.add_argument(
+        "--pr", default="dev",
+        help="PR label for the --history record (existing record with the "
+             "same label is replaced)",
+    )
     args = parser.parse_args(argv)
 
     result = run_suite(quick=args.quick, rounds=args.rounds)
@@ -405,6 +532,9 @@ def main(argv: list[str] | None = None) -> int:
     out = Path(args.out)
     out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out}")
+    if args.history:
+        records = append_history(Path(args.history), result, args.pr)
+        print(f"appended {args.pr!r} to {args.history} ({len(records)} records)")
 
     if args.check_against:
         baseline = json.loads(Path(args.check_against).read_text())

@@ -415,6 +415,21 @@ def reference_node_step(node, offered, dt_s: float = 1.0):
     return samples
 
 
+def reference_cluster_step(nodes, per_node_offered, dt_s: float = 1.0):
+    """The pre-cluster-kernel interval: a Python loop over nodes.
+
+    One ``Node.step_all`` call per node (itself the PR-3 per-node
+    kernel), which is exactly what ``Cluster.step`` and
+    ``SdnController.run_interval`` executed before the fused
+    cluster-wide pass — so the ``cluster_grid`` bench reports an honest
+    kernel-vs-per-node-loop speedup.
+    """
+    samples = {}
+    for node, offered in zip(nodes, per_node_offered):
+        samples.update(node.step_all(offered, dt_s))
+    return samples
+
+
 def reference_clamped(self, ranges=None, cpu=None):
     """Seed ``KnobSettings.clamped``: scalar np.clip per knob."""
     from repro.nfv.knobs import DEFAULT_RANGES, KnobSettings

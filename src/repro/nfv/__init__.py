@@ -8,6 +8,11 @@ from repro.nfv.chain import (
     microbench_chains,
 )
 from repro.nfv.cluster import Cluster, ClusterSample, consolidation_plan
+from repro.nfv.cluster_kernel import (
+    ClusterKernel,
+    ClusterTelemetry,
+    engines_compatible,
+)
 from repro.nfv.controller import ChainBinding, ChainObservation, OnvmController
 from repro.nfv.engine import (
     EngineParams,
@@ -47,8 +52,11 @@ __all__ = [
     "light_chain",
     "microbench_chains",
     "Cluster",
+    "ClusterKernel",
     "ClusterSample",
+    "ClusterTelemetry",
     "consolidation_plan",
+    "engines_compatible",
     "ChainBinding",
     "ChainObservation",
     "OnvmController",

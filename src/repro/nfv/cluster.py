@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.hw.server import ServerSpec, testbed_cluster
 from repro.nfv.chain import ServiceChain, default_chain
+from repro.nfv.cluster_kernel import ClusterKernel
 from repro.nfv.controller import OnvmController
 from repro.nfv.engine import TelemetrySample
 from repro.nfv.node import Node
@@ -42,7 +43,14 @@ class ClusterSample:
 
 
 class Cluster:
-    """A set of NF-host nodes stepped in lockstep."""
+    """A set of NF-host nodes stepped in lockstep.
+
+    Intervals run through the cluster-wide stepping kernel: every node's
+    hosted chains are priced in one fused
+    :class:`~repro.nfv.cluster_kernel.ClusterKernel` pass (per-node
+    ``step_all`` remains the bit-identical fallback for heterogeneous
+    hardware or mixed interval lengths).
+    """
 
     def __init__(self, controllers: list[OnvmController]):
         if not controllers:
@@ -53,6 +61,7 @@ class Cluster:
         if len(names) != len(set(names)):
             raise ValueError("chain names must be unique across the cluster")
         self.controllers = controllers
+        self.kernel = ClusterKernel([ctrl.node for ctrl in controllers])
 
     @property
     def chain_names(self) -> list[str]:
@@ -70,10 +79,30 @@ class Cluster:
         raise KeyError(f"no node hosts chain {chain_name!r}")
 
     def step(self, dt_s: float | None = None) -> ClusterSample:
-        """Advance every node one interval; aggregate telemetry."""
+        """Advance every node one interval; aggregate telemetry.
+
+        All nodes sharing one interval length are priced in a single
+        fused kernel pass; controllers with differing intervals (and
+        ``dt_s=None``) fall back to per-controller stepping.
+        """
         per_chain: dict[str, TelemetrySample] = {}
-        for ctrl in self.controllers:
-            per_chain.update(ctrl.run_interval(dt_s))
+        dts = {
+            dt_s if dt_s is not None else ctrl.interval_s
+            for ctrl in self.controllers
+        }
+        if len(dts) == 1:
+            dt = dts.pop()
+            offered: dict[str, tuple[float, float]] = {}
+            for ctrl in self.controllers:
+                offered.update(ctrl.draw_offered(dt))
+            samples = self.kernel.step(offered, dt)
+            for ctrl in self.controllers:
+                sub = {name: samples[name] for name in ctrl.bindings}
+                ctrl.finish_interval(sub, dt)
+                per_chain.update(sub)
+        else:
+            for ctrl in self.controllers:
+                per_chain.update(ctrl.run_interval(dt_s))
         total_t = sum(s.throughput_gbps for s in per_chain.values())
         total_e = sum(s.energy_j for s in per_chain.values())
         utils = [s.cpu_utilization for s in per_chain.values()]

@@ -276,6 +276,89 @@ class NFTelemetry:
     misses_per_packet: float
 
 
+class _LazyPerNF:
+    """Per-NF telemetry rows materialized on first access.
+
+    The cluster kernel prices dozens of chains per interval; most
+    consumers (state encoders, SLA folds, steering rules) read only the
+    chain-level scalars, so building one :class:`NFTelemetry` per NF per
+    chain per interval is wasted work on the hot path.  This sequence
+    holds the row's plain-float columns and builds the objects the first
+    time anything iterates or indexes it; :attr:`max_utilization` (the
+    SDN steering signal) is available without materializing.  Compares
+    equal to the eager ``list[NFTelemetry]`` it stands in for.
+    """
+
+    __slots__ = ("_names", "_cpp", "_rate", "_util", "_mpp", "_items")
+
+    def __init__(self, names, cpp, rate, util, mpp):
+        self._names = names
+        self._cpp = cpp
+        self._rate = rate
+        self._util = util
+        self._mpp = mpp
+        self._items: list[NFTelemetry] | None = None
+
+    def _materialize(self) -> list[NFTelemetry]:
+        if self._items is None:
+            self._items = [
+                NFTelemetry(
+                    name=name,
+                    cycles_per_packet=self._cpp[i],
+                    service_rate_pps=self._rate[i],
+                    utilization=self._util[i],
+                    misses_per_packet=self._mpp[i],
+                )
+                for i, name in enumerate(self._names)
+            ]
+        return self._items
+
+    @property
+    def max_utilization(self) -> float:
+        """Bottleneck-NF utilization without materializing the rows."""
+        return max(self._util) if self._names else 0.0
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __bool__(self) -> bool:
+        return bool(self._names)
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+    def __getitem__(self, index):
+        return self._materialize()[index]
+
+    def __eq__(self, other):
+        if isinstance(other, _LazyPerNF):
+            return self._materialize() == other._materialize()
+        if isinstance(other, list):
+            return self._materialize() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return repr(self._materialize())
+
+
+def bottleneck_utilization(sample: "TelemetrySample") -> float:
+    """The binding stage's utilization — the SDN steering signal.
+
+    A chain drops packets as soon as one NF saturates, so steering reads
+    the max over the chain's NFs, not the mean over provisioned cores.
+    Uses the lazy fast path when the sample came out of a kernel pass;
+    falls back to ``cpu_utilization`` when per-NF rows are absent.
+    """
+    per_nf = sample.per_nf
+    if isinstance(per_nf, _LazyPerNF):
+        if len(per_nf):
+            return per_nf.max_utilization
+        return sample.cpu_utilization
+    if per_nf:
+        return max(t.utilization for t in per_nf)
+    return sample.cpu_utilization
+
+
 @dataclass
 class TelemetrySample:
     """Everything the controller reads back after one interval.
@@ -314,6 +397,19 @@ class TelemetrySample:
         if self.energy_j <= 0:
             return 0.0
         return self.throughput_gbps / (self.energy_j / 1e3)
+
+
+def efficiency_grid(throughput_gbps, energy_j) -> np.ndarray:
+    """Eq. 3's lambda = T / E in Gbps per kJ, elementwise over a grid.
+
+    Zero-energy points score 0 (not inf/nan) — the one definition every
+    grid telemetry and grid search shares, so scorers cannot diverge on
+    the convention.
+    """
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(
+            energy_j > 0, throughput_gbps / (np.asarray(energy_j) / 1e3), 0.0
+        )
 
 
 @dataclass
@@ -368,13 +464,7 @@ class BatchTelemetry:
     @property
     def energy_efficiency(self) -> np.ndarray:
         """Gbps per kJ across the grid (Eq. 3's lambda)."""
-        with np.errstate(divide="ignore", invalid="ignore"):
-            out = np.where(
-                self.energy_j > 0,
-                self.throughput_gbps / (self.energy_j / 1e3),
-                0.0,
-            )
-        return out
+        return efficiency_grid(self.throughput_gbps, self.energy_j)
 
     def sample(self, k: int, l: int, p: int | None = None) -> TelemetrySample:
         """Materialize one grid point as a full :class:`TelemetrySample`.
@@ -459,6 +549,11 @@ class MultiChainTelemetry:
     def __len__(self) -> int:
         return self.achieved_pps.shape[0]
 
+    @property
+    def energy_efficiency(self) -> np.ndarray:
+        """Gbps per kJ per row (Eq. 3's lambda, zero at zero energy)."""
+        return efficiency_grid(self.throughput_gbps, self.energy_j)
+
     def sample(self, r: int) -> TelemetrySample:
         """Materialize one chain's row as a full :class:`TelemetrySample`."""
         profile = self.stack.profiles[r]
@@ -494,12 +589,16 @@ class MultiChainTelemetry:
             per_nf=per_nf,
         )
 
-    def samples(self) -> list[TelemetrySample]:
+    def samples(self, *, lazy_per_nf: bool = False) -> list[TelemetrySample]:
         """All rows as :class:`TelemetrySample` objects.
 
         Equivalent to ``[self.sample(r) for r in range(len(self))]`` but
         converts each array to Python floats in one pass — the cheap
-        materialization path the node uses every interval.
+        materialization path the node uses every interval.  With
+        ``lazy_per_nf`` the per-NF rows come back as :class:`_LazyPerNF`
+        sequences (equal to, and materializing into, the eager lists on
+        first access) — the cluster kernel's hot path, where most
+        consumers never read per-NF telemetry.
         """
         offered = self.offered_pps.tolist()
         achieved = self.achieved_pps.tolist()
@@ -519,16 +618,19 @@ class MultiChainTelemetry:
         out = []
         for r, profile in enumerate(self.stack.profiles):
             cpp_r, rate_r, util_r, mpp_r = cpp[r], rate[r], util[r], mpp[r]
-            per_nf = [
-                NFTelemetry(
-                    name=name,
-                    cycles_per_packet=cpp_r[i],
-                    service_rate_pps=rate_r[i],
-                    utilization=util_r[i],
-                    misses_per_packet=mpp_r[i],
-                )
-                for i, name in enumerate(profile.names)
-            ]
+            if lazy_per_nf:
+                per_nf = _LazyPerNF(profile.names, cpp_r, rate_r, util_r, mpp_r)
+            else:
+                per_nf = [
+                    NFTelemetry(
+                        name=name,
+                        cycles_per_packet=cpp_r[i],
+                        service_rate_pps=rate_r[i],
+                        utilization=util_r[i],
+                        misses_per_packet=mpp_r[i],
+                    )
+                    for i, name in enumerate(profile.names)
+                ]
             out.append(
                 TelemetrySample(
                     dt_s=self.dt_s,

@@ -189,6 +189,30 @@ class Node:
         """LLC capacity currently granted to a chain by CAT."""
         return self.cache.allocated_bytes(name)
 
+    def contention_for(self, pkts: tuple[float, ...]) -> float:
+        """Cross-chain contention from aggregate LLC demand at these frames.
+
+        ``pkts`` holds one frame size per hosted chain, in deployment
+        order.  The demand depends only on knobs, resident state and
+        frame sizes — not on offered rates — so the factor is cached per
+        (knob/deployment generation, frame sizes); :meth:`step_all` and
+        the cluster kernel both price contention through this one path.
+        """
+        demand_key = (self._config_gen, pkts)
+        if self._demand_key != demand_key:
+            total_demand = 0.0
+            for pkt, hosted in zip(pkts, self._chains.values()):
+                total_demand += (
+                    hosted.knobs.batch_size * pkt
+                    + hosted.chain.total_state_bytes
+                    + hosted.knobs.dma_bytes * 0.25
+                )
+            self._demand_key = demand_key
+            self._contention = contention_factor(
+                total_demand, self.server.llc.size_bytes
+            )
+        return self._contention
+
     # -- simulation --------------------------------------------------------
 
     def step(
@@ -255,23 +279,7 @@ class Node:
             pkts.append(pkt)
         pkts_t = tuple(pkts)
 
-        # Cross-chain contention from aggregate LLC demand.  The demand
-        # depends only on knobs, resident state and frame sizes — not on
-        # the offered rates — so it is cached with the compiled plan.
-        demand_key = (self._config_gen, pkts_t)
-        if self._demand_key != demand_key:
-            total_demand = 0.0
-            for pkt, hosted in zip(pkts, self._chains.values()):
-                total_demand += (
-                    hosted.knobs.batch_size * pkt
-                    + hosted.chain.total_state_bytes
-                    + hosted.knobs.dma_bytes * 0.25
-                )
-            self._demand_key = demand_key
-            self._contention = contention_factor(
-                total_demand, self.server.llc.size_bytes
-            )
-        contention = self._contention
+        contention = self.contention_for(pkts_t)
 
         # One kernel pass: per-chain physics without power.  The ONVM
         # Rx/Tx infra threads exist once per node, so their
@@ -317,7 +325,12 @@ class Node:
         samples: dict[str, TelemetrySample] = {}
         busy_cores_total = infra_busy
         allocated_total = params.infra_cores
-        chain_samples = multi.samples() if multi is not None else None
+        # Lazy per-NF rows: equal to (and materializing into) the eager
+        # NFTelemetry lists on first access, skipped entirely by the
+        # consumers that only read chain-level scalars.
+        chain_samples = (
+            multi.samples(lazy_per_nf=True) if multi is not None else None
+        )
         for i, (name, hosted) in enumerate(self._chains.items()):
             if chain_samples is not None:
                 sample = chain_samples[i]

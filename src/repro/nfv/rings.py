@@ -142,3 +142,42 @@ class FluidRing:
         self.occupancy = 0.0
         self.dropped = 0.0
         self.high_water = 0.0
+
+
+def offer_many(rings, in_rates_pps, out_rates_pps, dt_s: float) -> np.ndarray:
+    """Advance many :class:`FluidRing`\\ s one interval in one array pass.
+
+    Semantically ``[r.offer(i, o, dt_s) for r, i, o in zip(...)]`` — the
+    same float operations evaluated elementwise, so occupancy, drops and
+    high-water marks land bit-identically — but the integration runs as
+    a handful of vectorized ops, which is what the cluster kernel uses
+    to keep per-chain ring bookkeeping off the Python hot path.
+    Returns the forwarded rates, shape ``(R,)``.
+    """
+    if dt_s <= 0:
+        raise ValueError("dt must be positive")
+    in_rates = np.asarray(in_rates_pps, dtype=np.float64)
+    out_rates = np.asarray(out_rates_pps, dtype=np.float64)
+    if np.any(in_rates < 0) or np.any(out_rates < 0):
+        raise ValueError("rates must be non-negative")
+    rings = list(rings)
+    if in_rates.shape != (len(rings),) or out_rates.shape != (len(rings),):
+        raise ValueError("need one in/out rate per ring")
+    if not rings:
+        return np.empty(0, dtype=np.float64)
+    occupancy = np.asarray([r.occupancy for r in rings], dtype=np.float64)
+    capacity = np.asarray([r.capacity_packets for r in rings], dtype=np.float64)
+    available = occupancy + in_rates * dt_s
+    served = np.minimum(out_rates * dt_s, available)
+    backlog = available - served
+    overflow = np.maximum(0.0, backlog - capacity)
+    backlog = np.minimum(backlog, capacity)
+    occ_list = backlog.tolist()
+    over_list = overflow.tolist()
+    for r, occ, over in zip(rings, occ_list, over_list):
+        if over > 0.0:
+            r.dropped += over
+        r.occupancy = occ
+        if occ > r.high_water:
+            r.high_water = occ
+    return served / dt_s

@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.env import NFVEnv
-from repro.rl.ddpg import DDPGAgent, DDPGConfig
+from repro.rl.ddpg import DDPGAgent, DDPGConfig, act_batch
 from repro.rl.per import PrioritizedReplayBuffer
 from repro.rl.replay import Transition, TransitionBatch
 from repro.utils.rng import RngLike, as_generator, spawn
@@ -52,6 +52,11 @@ class ApexConfig:
     actor_steps_per_cycle: int = 32
     evict_every_cycles: int = 50
     evict_fraction: float = 0.10
+    #: Step the actor fleet in lockstep, batching all actors' policy
+    #: forwards into one stacked inference per environment step
+    #: (bit-identical to per-actor ``forward`` calls; actors' envs and
+    #: noise processes are independent, so trajectories are unchanged).
+    batched_inference: bool = True
 
     def __post_init__(self) -> None:
         if self.n_actors < 1:
@@ -102,26 +107,63 @@ class ApexActor:
             self.agent.reset_noise()
         for _ in range(n_steps):
             action = self.agent.act(self._obs, explore=True)
-            result = self.env.step(action)
-            self.reward_history.append(result.reward)
-            t = Transition(
+            self._record(self.env.step(action), action)
+            if len(self._local) >= self.local_buffer_size:
+                flushed.extend(self._flush())
+        flushed.extend(self._flush())
+        return flushed
+
+    def _record(self, result, action) -> None:
+        """Book one environment step (shared by solo and lockstep paths)."""
+        self.reward_history.append(result.reward)
+        self._local.append(
+            Transition(
                 state=self._obs.copy(),
                 action=np.asarray(action, dtype=np.float64),
                 reward=float(result.reward),
                 next_state=result.observation.copy(),
                 done=bool(result.done),
             )
-            self._local.append(t)
-            self.steps_done += 1
-            if result.done:
-                self._obs = self.env.reset()
-                self.agent.reset_noise()
-                self.episodes_done += 1
-            else:
-                self._obs = result.observation
-            if len(self._local) >= self.local_buffer_size:
-                flushed.extend(self._flush())
-        flushed.extend(self._flush())
+        )
+        self.steps_done += 1
+        if result.done:
+            self._obs = self.env.reset()
+            self.agent.reset_noise()
+            self.episodes_done += 1
+        else:
+            self._obs = result.observation
+
+    @staticmethod
+    def collect_lockstep(
+        actors: list["ApexActor"], n_steps: int
+    ) -> list[list[tuple[Transition, float]]]:
+        """Act all actors for ``n_steps`` with one batched forward per step.
+
+        Equivalent to ``[a.collect(n_steps) for a in actors]`` — every
+        actor owns its environment, parameter copy and noise process, so
+        trajectories, flush boundaries and initial priorities are
+        unchanged — but each step evaluates the whole fleet's policies
+        in a single :func:`~repro.rl.ddpg.act_batch` inference (Ape-X's
+        amortize-the-actors trick).  Returns each actor's flushed
+        (transition, priority) pairs, in actor order.
+        """
+        if n_steps < 1:
+            raise ValueError("n_steps must be >= 1")
+        flushed: list[list[tuple[Transition, float]]] = [[] for _ in actors]
+        for actor in actors:
+            if actor._obs is None:
+                actor._obs = actor.env.reset()
+                actor.agent.reset_noise()
+        for _ in range(n_steps):
+            actions = act_batch(
+                [a.agent for a in actors], [a._obs for a in actors], explore=True
+            )
+            for i, (actor, action) in enumerate(zip(actors, actions)):
+                actor._record(actor.env.step(action), action)
+                if len(actor._local) >= actor.local_buffer_size:
+                    flushed[i].extend(actor._flush())
+        for i, actor in enumerate(actors):
+            flushed[i].extend(actor._flush())
         return flushed
 
     def _flush(self) -> list[tuple[Transition, float]]:
@@ -240,9 +282,21 @@ class ApexCoordinator:
         if n_cycles < 1:
             raise ValueError("n_cycles must be >= 1")
         cfg = self.config
+        batched = cfg.batched_inference and len(self.actors) > 1
         for _ in range(n_cycles):
-            for actor in self.actors:
-                experiences = actor.collect(cfg.actor_steps_per_cycle)
+            if batched:
+                # One stacked policy inference per step across the fleet;
+                # experience still ingests in actor order, so the replay
+                # stream is identical to the sequential schedule.
+                collected = ApexActor.collect_lockstep(
+                    self.actors, cfg.actor_steps_per_cycle
+                )
+            else:
+                collected = [
+                    actor.collect(cfg.actor_steps_per_cycle)
+                    for actor in self.actors
+                ]
+            for experiences in collected:
                 self.learner.ingest(experiences)
                 self.stats.actor_steps += cfg.actor_steps_per_cycle
                 self._steps_since_sync += cfg.actor_steps_per_cycle

@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.rl.nn import MLP, Adam
+from repro.rl.nn import MLP, Adam, forward_many
 from repro.rl.noise import GaussianNoise, OUNoise
 from repro.rl.replay import TransitionBatch
 from repro.utils.rng import RngLike, as_generator, spawn
@@ -240,3 +240,46 @@ class DDPGAgent:
         self.critic.set_params(params["critic"])
         self.target_actor.set_params(params["target_actor"])
         self.target_critic.set_params(params["target_critic"])
+
+
+def act_batch(
+    agents: list[DDPGAgent], states, *, explore: bool = True
+) -> list[np.ndarray]:
+    """One policy action per agent, with all actor forwards batched.
+
+    Equivalent to ``[agent.act(state, explore=explore) for ...]`` — the
+    same warmup draws, the same exploration-noise samples from each
+    agent's own process, the same clipping — but the non-warmup agents'
+    actor networks evaluate in a single
+    :func:`~repro.rl.nn.forward_many` pass, which is bit-identical to
+    the per-agent forwards.  This is the Ape-X fleet's per-step fast
+    path: N actors cost one stacked inference instead of N.
+    """
+    if len(agents) != len(states):
+        raise ValueError("need one state per agent")
+    actions: list[np.ndarray | None] = [None] * len(agents)
+    policy_idx: list[int] = []
+    for i, agent in enumerate(agents):
+        if explore and agent._explore_calls < agent.config.random_warmup_steps:
+            agent._explore_calls += 1
+            actions[i] = agent._warmup_rng.uniform(
+                -1.0, 1.0, size=agent.action_dim
+            )
+        else:
+            policy_idx.append(i)
+    if policy_idx:
+        xs = np.stack(
+            [
+                np.asarray(states[i], dtype=np.float64).reshape(-1)
+                for i in policy_idx
+            ]
+        )
+        outs = forward_many([agents[i].actor for i in policy_idx], xs)
+        for row, i in enumerate(policy_idx):
+            agent = agents[i]
+            action = outs[row]
+            if explore:
+                agent._explore_calls += 1
+                action = action + agent.noise.sample()
+            actions[i] = np.clip(action, -1.0, 1.0)
+    return actions  # type: ignore[return-value]

@@ -290,6 +290,51 @@ class MLP:
         return out
 
 
+def forward_many(nets: list[MLP], xs: np.ndarray) -> np.ndarray:
+    """One batched forward over N same-architecture MLPs, one input each.
+
+    ``xs`` has shape ``(N, in_dim)``; row ``i`` runs through ``nets[i]``
+    and the result has shape ``(N, out_dim)``.  This is the Ape-X
+    actor-fleet fast path: instead of N Python-level ``forward`` calls
+    per step, the whole fleet shares one stacked evaluation per layer.
+
+    Bit-identity: each layer is evaluated as a stacked 3-D matmul whose
+    slices are exactly the ``(1, in) @ (in, out)`` products the scalar
+    ``forward`` performs, followed by the same elementwise bias add and
+    activation — so row ``i`` equals ``nets[i].forward(xs[i])`` to the
+    bit (asserted by the batched-inference tests).  When every net holds
+    identical parameters (the synced-actor common case between
+    parameter-churn points) the per-layer stack collapses to one shared
+    weight matrix broadcast over the fleet, skipping the stacking copy.
+    """
+    if not nets:
+        raise ValueError("need at least one network")
+    first = nets[0]
+    for net in nets[1:]:
+        if net._param_shapes != first._param_shapes or [
+            layer.activation for layer in net.layers
+        ] != [layer.activation for layer in first.layers]:
+            raise ValueError("forward_many needs same-architecture networks")
+    xs = np.asarray(xs, dtype=np.float64)
+    if xs.ndim != 2 or xs.shape != (len(nets), first.in_dim):
+        raise ValueError(
+            f"expected inputs of shape ({len(nets)}, {first.in_dim}), got {xs.shape}"
+        )
+    synced = all(np.array_equal(net._flat, first._flat) for net in nets[1:])
+    a = xs[:, None, :]  # (N, 1, in)
+    for i, layer in enumerate(first.layers):
+        if synced:
+            z = a @ layer.weights  # broadcast: N slices of (1,in)@(in,out)
+            z += layer.bias
+        else:
+            w_stack = np.stack([net.layers[i].weights for net in nets])
+            b_stack = np.stack([net.layers[i].bias for net in nets])[:, None, :]
+            z = a @ w_stack
+            z += b_stack
+        a = _act(layer.activation, z)
+    return a[:, 0, :]
+
+
 class Adam:
     """Adam optimizer over an MLP's parameter list."""
 

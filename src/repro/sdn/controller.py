@@ -25,7 +25,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.nfv.engine import TelemetrySample
+from repro.nfv.cluster_kernel import ClusterKernel
+from repro.nfv.engine import TelemetrySample, bottleneck_utilization
 from repro.nfv.node import Node
 from repro.sdn.flows import FlowSpec, SteeringTable
 from repro.utils.rng import RngLike, as_generator
@@ -69,9 +70,7 @@ class ChainReplica:
         """
         if self.last_sample is None:
             return 0.0
-        if self.last_sample.per_nf:
-            return max(t.utilization for t in self.last_sample.per_nf)
-        return self.last_sample.cpu_utilization
+        return bottleneck_utilization(self.last_sample)
 
     @property
     def dropping(self) -> bool:
@@ -88,6 +87,7 @@ class SdnController:
         *,
         interval_s: float = 1.0,
         rng: RngLike = None,
+        use_kernel: bool = True,
     ):
         self.config = config or SdnConfig()
         self.interval_s = float(interval_s)
@@ -99,6 +99,12 @@ class SdnController:
         self._cooldown: dict[str, int] = {}
         self._t = 0.0
         self._rng = as_generator(rng)
+        #: Cluster-wide stepping: one fused kernel pass per interval over
+        #: every registered node.  ``use_kernel=False`` keeps the
+        #: per-node ``step_all`` reference path (bit-identical; the
+        #: differential tests step both).
+        self.use_kernel = use_kernel
+        self._kernel: ClusterKernel | None = None
 
     # -- registration ---------------------------------------------------------
 
@@ -121,6 +127,7 @@ class SdnController:
                 f"chain {replica.chain_name!r} is not deployed on the node"
             )
         self._replicas[replica.chain_name] = replica
+        self._kernel = None  # node set changed; rebuild on next interval
 
     def add_flow(self, flow: FlowSpec, chain_name: str | None = None) -> None:
         """Admit a flow; default placement is the least-utilized replica."""
@@ -164,22 +171,31 @@ class SdnController:
         """One cooperative interval: route flows, run nodes, re-steer.
 
         Nodes are stepped with the current steering table's aggregates —
-        every replica sharing a node is evaluated in that node's single
-        :meth:`~repro.nfv.node.Node.step_all` kernel pass — and the
-        returned telemetry updates the replicas and drives the steering
-        decisions for the *next* interval.
+        the whole cluster of replicas is priced in one fused
+        :class:`~repro.nfv.cluster_kernel.ClusterKernel` pass (per-node
+        :meth:`~repro.nfv.node.Node.step_all` when ``use_kernel`` is
+        off; both paths agree to <= 1 ulp) — and the returned telemetry
+        updates the replicas and drives the steering decisions for the
+        *next* interval.
         """
         offered = self.offered_per_chain(self.interval_s)
-        # Group chains by node so multi-replica nodes step once.
-        by_node: dict[int, tuple[Node, dict[str, tuple[float, float]]]] = {}
-        for name, replica in self._replicas.items():
-            node_id = id(replica.node)
-            if node_id not in by_node:
-                by_node[node_id] = (replica.node, {})
-            by_node[node_id][1][name] = offered[name]
         samples: dict[str, TelemetrySample] = {}
-        for node, node_offered in by_node.values():
-            samples.update(node.step_all(node_offered, self.interval_s))
+        if self.use_kernel:
+            if self._kernel is None:
+                self._kernel = ClusterKernel(
+                    [replica.node for replica in self._replicas.values()]
+                )
+            samples = self._kernel.step(offered, self.interval_s)
+        else:
+            # Group chains by node so multi-replica nodes step once.
+            by_node: dict[int, tuple[Node, dict[str, tuple[float, float]]]] = {}
+            for name, replica in self._replicas.items():
+                node_id = id(replica.node)
+                if node_id not in by_node:
+                    by_node[node_id] = (replica.node, {})
+                by_node[node_id][1][name] = offered[name]
+            for node, node_offered in by_node.values():
+                samples.update(node.step_all(node_offered, self.interval_s))
         for name, replica in self._replicas.items():
             replica.last_sample = samples[name]
         self._t += self.interval_s

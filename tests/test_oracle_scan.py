@@ -58,6 +58,63 @@ class TestOracleStatic:
         bt_d = PacketEngine().step_batch(chain, ctrl.grid, [5e5], 1518.0)
         assert not np.allclose(bt_h.energy_efficiency, bt_d.energy_efficiency)
 
+    def test_research_matches_search_winner(self):
+        # The plan-aware periodic re-search prices candidates through a
+        # compiled ChainKernelPlan instead of a fresh step_batch; both
+        # paths agree with the scalar engine to <= 1 ulp, so they must
+        # pick the same winner on non-tied grids.
+        chain = default_chain()
+        engine = PacketEngine()
+        for objective in ("energy_efficiency", "max_throughput", "min_energy"):
+            ctrl = OracleStaticController(objective=objective)
+            ctrl.prepare(chain, engine)
+            for load in (3e5, 8e5, 1.4e6):
+                assert ctrl.search(chain, load, 512.0) == ctrl.research(
+                    chain, load, 512.0
+                ), (objective, load)
+
+    def test_research_reuses_the_compiled_plan(self):
+        chain = default_chain()
+        ctrl = OracleStaticController()
+        ctrl.prepare(chain, PacketEngine())
+        ctrl.research(chain, 5e5, 512.0)
+        plan = ctrl._plan
+        ctrl.research(chain, 9e5, 512.0)  # new load, same plan
+        assert ctrl._plan is plan
+        ctrl.research(chain, 9e5, 1024.0)  # new frame size -> recompile
+        assert ctrl._plan is not plan
+
+    def test_periodic_research_tracks_workload_shifts(self):
+        # Under research_every the oracle re-locks onto the current
+        # workload; a drastic load shift must be able to change the pick.
+        chain = default_chain()
+        engine = PacketEngine()
+        ctrl = OracleStaticController(research_every=1)
+        ctrl.prepare(chain, engine)
+        low = ctrl.research(chain, 1e5, 1518.0)
+        high = ctrl.research(chain, 2e6, 64.0)
+        assert isinstance(low, KnobSettings) and isinstance(high, KnobSettings)
+        assert low != high  # the re-search is live, not a cached no-op
+
+    def test_decide_research_cadence(self):
+        from repro.traffic.analysis import FlowAnalyzer
+
+        chain = default_chain()
+        engine = PacketEngine()
+        ctrl = OracleStaticController(research_every=3)
+        ctrl.prepare(chain, engine)
+        sample = engine.step(chain, KnobSettings(), 5e5, 512.0)
+        analyzer = FlowAnalyzer()
+        first = ctrl.decide(sample, analyzer, KnobSettings())  # initial search
+        assert first == ctrl._knobs
+        plan_before = ctrl._plan
+        ctrl.decide(sample, analyzer, first)  # interval 2: hold
+        assert ctrl._plan is plan_before  # no re-search yet
+        ctrl.decide(sample, analyzer, first)  # interval 3: re-search fires
+        assert ctrl._plan is not None
+        with pytest.raises(ValueError):
+            OracleStaticController(research_every=0)
+
     def test_run_controller_threads_engine_params(self):
         # End-to-end: run_controller must hand the node's engine (with
         # custom EngineParams) to the oracle's prepare().
@@ -127,6 +184,48 @@ class TestScanKnobGrid:
         )
         np.testing.assert_array_equal(bt.achieved_pps, direct.achieved_pps)
         np.testing.assert_array_equal(bt.energy_j, direct.energy_j)
+
+    def test_jobs_chunking_is_bit_identical(self):
+        # Chunking the knob axis across worker processes must stitch
+        # back to exactly the single-call grid (rows are independent).
+        spec = _spec()
+        grid = default_knob_grid()[:30]
+        whole = scan_knob_grid(spec, grid, offered_grid=[4e5, 8e5], packet_bytes=512.0)
+        chunked = scan_knob_grid(
+            spec, grid, offered_grid=[4e5, 8e5], packet_bytes=512.0, jobs=3
+        )
+        for field in (
+            "achieved_pps",
+            "throughput_gbps",
+            "energy_j",
+            "latency_s",
+            "cycles_per_packet",
+            "nf_utilization",
+            "chain_rate_pps",
+        ):
+            np.testing.assert_array_equal(
+                getattr(whole, field), getattr(chunked, field), err_msg=field
+            )
+        assert chunked.nf_names == whole.nf_names
+
+    def test_jobs_with_packet_axis_and_default_load(self):
+        spec = _spec()
+        grid = default_knob_grid()[:12]
+        whole = scan_knob_grid(spec, grid, packet_bytes=[64.0, 1518.0])
+        chunked = scan_knob_grid(spec, grid, packet_bytes=[64.0, 1518.0], jobs=2)
+        assert chunked.shape == whole.shape == (12, 1, 2)
+        np.testing.assert_array_equal(whole.achieved_pps, chunked.achieved_pps)
+        # The default interval load is drawn once, not once per worker.
+        np.testing.assert_array_equal(whole.offered_pps, chunked.offered_pps)
+
+    def test_jobs_validation_and_degenerate_counts(self):
+        spec = _spec()
+        grid = default_knob_grid()[:4]
+        with pytest.raises(ValueError):
+            scan_knob_grid(spec, grid, jobs=0)
+        # More jobs than candidates degrades gracefully to per-row chunks.
+        out = scan_knob_grid(spec, grid, offered_grid=[5e5], jobs=16)
+        assert out.shape[0] == 4
 
     def test_defaults_come_from_the_traffic_model(self):
         bt = scan_knob_grid(_spec(name="scan-defaults"), [KnobSettings()])
