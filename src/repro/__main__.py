@@ -5,6 +5,7 @@ Subcommands::
     python -m repro run <spec.json | preset>   # one declarative scenario
     python -m repro sweep <specs.json | preset> --jobs 4 --out-dir results
     python -m repro scan <spec.json | preset>  # vectorized knob-grid scan
+    python -m repro fleet <spec.json | preset> # sharded multi-cluster fleet
     python -m repro fig <id> [--quick]         # a paper-figure harness
     python -m repro list                       # everything runnable
 
@@ -45,7 +46,7 @@ from repro.scenario import (
 )
 from repro.utils.tables import render_table
 
-_SUBCOMMANDS = ("run", "sweep", "scan", "fig", "list")
+_SUBCOMMANDS = ("run", "sweep", "scan", "fleet", "fig", "list")
 
 
 def _load_spec(source: str) -> ScenarioSpec:
@@ -185,6 +186,47 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet
+
+    spec = _load_spec(args.spec)
+    if args.seed is not None:
+        spec = spec.with_updates(seed=args.seed)
+    if args.quick:
+        spec = quick_spec(spec)
+    result = run_fleet(
+        spec, backend=args.backend, cycles=args.cycles, out_path=args.out
+    )
+    t = result.totals
+    fleet = result.fleet
+    shards = fleet["topology"]["shards"]
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["backend", fleet["backend"]],
+                ["shards", len(shards)],
+                ["total nodes", sum(s["nodes"] for s in shards)],
+                ["intervals", t["intervals"]],
+                ["final chains", t["final_chains"]],
+                ["mean throughput (Gbps)", t["mean_throughput_gbps"]],
+                ["total energy (J)", t["energy_j"]],
+                ["  migration share (J)", t["migration_energy_j"]],
+                ["mean power (W)", t["mean_power_w"]],
+                ["T/E (Gbps/kJ)", t["energy_efficiency"]],
+                ["SLA violations", t["sla_violations"]],
+                ["migrations", t["migrations"]],
+                ["churn (+/-)", f"{t['arrivals']}/{t['departures']}"],
+                ["wall clock (s)", result.elapsed_s],
+            ],
+            title=f"fleet {spec.name!r}",
+        )
+    )
+    if args.out:
+        print(f"\n(fleet artifact written to {args.out})")
+    return 0
+
+
 def _cmd_fig(args: argparse.Namespace) -> int:
     if args.id == "list":  # legacy spelling: `python -m repro list`
         return _cmd_list(args)
@@ -222,6 +264,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"  chains:      {', '.join(CHAINS.names())}")
     print(f"  traffic:     {', '.join(TRAFFIC.names())}")
     print(f"  knob grids:  {', '.join(GRIDS.names())} (scan)")
+    from repro.fleet import FLEETS
+
+    print(f"  fleets:      {', '.join(FLEETS.names())} (fleet)")
     return 0
 
 
@@ -287,6 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scan.add_argument("--out", default=None, help="write the scan JSON here")
     p_scan.set_defaults(func=_cmd_scan)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="run a sharded multi-cluster fleet scenario"
+    )
+    p_fleet.add_argument(
+        "spec", help="spec JSON file or scenario preset id (needs a fleet: section)"
+    )
+    p_fleet.add_argument(
+        "--backend", default=None, choices=("local", "process"),
+        help="override the fleet's shard backend (process = one worker "
+             "process per shard; results are bit-identical to local)",
+    )
+    p_fleet.add_argument(
+        "--cycles", type=int, default=None, help="override the coordinator cycles"
+    )
+    p_fleet.add_argument("--seed", type=int, default=None, help="override the seed")
+    p_fleet.add_argument("--quick", action="store_true", help="reduced budgets")
+    p_fleet.add_argument(
+        "--out", default=None, help="write the fleet result JSON here"
+    )
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_fig = sub.add_parser("fig", help="run a paper-figure harness")
     p_fig.add_argument("id", help="experiment id (see 'python -m repro list')")

@@ -1,0 +1,63 @@
+"""Fleet subsystem: sharded multi-cluster simulation at datacenter scale.
+
+One :class:`~repro.nfv.cluster_kernel.ClusterKernel` prices a whole
+cluster per interval; this package scales *out*: a fleet is a set of
+**shards** (clusters) joined by inter-shard links, each shard stepped by
+its own kernel — in-process (:class:`~repro.fleet.shard.LocalShard`) or
+in a real worker process (:class:`~repro.fleet.shard.ShardWorker`) — and
+a :class:`~repro.fleet.coordinator.FleetCoordinator` running the global
+gather / decide / scatter loop: per-shard telemetry summaries in, SDN
+knob steering and **cross-shard chain migration** decisions out.
+
+Determinism is the design center: all stochastic inputs (traffic draws,
+flash crowds, churn) come from counter-based RNG streams keyed on
+``(seed, name, interval)``, so a seeded fleet run is bit-identical
+regardless of the worker count and between the local and process
+backends (``tests/test_fleet.py`` pins it).
+
+Entry points::
+
+    from repro.fleet import run_fleet
+    result = run_fleet(spec)            # spec.fleet holds the fleet section
+
+    python -m repro fleet fleet-small --backend process --out fleet.json
+"""
+
+from repro.fleet.coordinator import FleetCoordinator, FleetResult, run_fleet
+from repro.fleet.shard import (
+    ChainTicket,
+    LocalShard,
+    ShardConfig,
+    ShardSim,
+    ShardWorker,
+)
+from repro.fleet.spec import FLEETS, FleetSpec, MigrationConfig, SteeringConfig
+from repro.fleet.topology import FleetTopology, InterShardLink, ShardSpec
+from repro.fleet.workload import (
+    ChurnConfig,
+    FlashCrowdConfig,
+    WorkloadConfig,
+    interval_stream,
+)
+
+__all__ = [
+    "FLEETS",
+    "ChainTicket",
+    "ChurnConfig",
+    "FlashCrowdConfig",
+    "FleetCoordinator",
+    "FleetResult",
+    "FleetSpec",
+    "FleetTopology",
+    "InterShardLink",
+    "LocalShard",
+    "MigrationConfig",
+    "ShardConfig",
+    "ShardSim",
+    "ShardSpec",
+    "ShardWorker",
+    "SteeringConfig",
+    "WorkloadConfig",
+    "interval_stream",
+    "run_fleet",
+]

@@ -1,0 +1,682 @@
+"""The fleet's global control loop: gather, decide, scatter.
+
+Each coordinator cycle runs every shard ``sync_every`` control intervals
+(concurrently, on the process backend), gathers the per-shard
+:class:`~repro.fleet.shard.ShardReport` summaries, and makes the global
+decisions the single-cluster controllers cannot:
+
+* **churn** — admit Poisson chain arrivals onto the least-loaded nodes
+  and retire departing chains (:meth:`~repro.fleet.workload.WorkloadConfig.churn_events`);
+* **cross-shard chain migration** — a greedy consolidation pass: the
+  fleet-wide target placement comes from
+  :func:`~repro.nfv.cluster.consolidation_plan` (flow-path co-location,
+  capacity-bounded), and each proposed move is accepted only when its
+  estimated energy gain beats the migration cost model and the target
+  has SLA headroom (see :class:`~repro.fleet.spec.MigrationConfig`);
+* **SDN knob steering** — watermark rules on each chain's bottleneck
+  utilization, scattered back as per-chain knob updates.
+
+Every decision is a deterministic function of the gathered reports and
+the counter-based churn stream, so a seeded run is bit-identical across
+backends and worker counts.  :func:`run_fleet` is the facade the CLI and
+tests share; its :class:`FleetResult` artifact records the per-interval
+fleet energy/SLA series, the migration log and the churn history.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.fleet.shard import (
+    ChainSummary,
+    ChainTicket,
+    LocalShard,
+    NodeSummary,
+    ShardConfig,
+    ShardReport,
+    ShardWorker,
+    kind_nfs,
+)
+from repro.fleet.spec import FleetSpec
+from repro.fleet.topology import CHAIN_KINDS
+from repro.nfv.cluster import consolidation_plan
+
+#: Fleet-artifact schema version (bump on layout changes).
+FLEET_FORMAT_VERSION = 1
+
+
+@dataclass
+class FleetResult:
+    """Structured, JSON-native outcome of one fleet run."""
+
+    fleet: dict[str, Any]
+    intervals: list[dict[str, Any]]
+    migrations: list[dict[str, Any]]
+    churn: list[dict[str, Any]]
+    cycles: list[dict[str, Any]]
+    totals: dict[str, Any]
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (round-trips through :meth:`from_dict`)."""
+        return {
+            "format_version": FLEET_FORMAT_VERSION,
+            "fleet": dict(self.fleet),
+            "intervals": [dict(r) for r in self.intervals],
+            "migrations": [dict(m) for m in self.migrations],
+            "churn": [dict(c) for c in self.churn],
+            "cycles": [dict(c) for c in self.cycles],
+            "totals": dict(self.totals),
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        version = data.get("format_version")
+        if version != FLEET_FORMAT_VERSION:
+            raise ValueError(f"unsupported fleet format_version {version!r}")
+        return cls(
+            fleet=dict(data["fleet"]),
+            intervals=[dict(r) for r in data["intervals"]],
+            migrations=[dict(m) for m in data["migrations"]],
+            churn=[dict(c) for c in data["churn"]],
+            cycles=[dict(c) for c in data["cycles"]],
+            totals=dict(data["totals"]),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path) -> Path:
+        """Write the artifact; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "FleetResult":
+        """Read an artifact written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def comparable(self) -> dict[str, Any]:
+        """The determinism-relevant payload (everything but wall clock).
+
+        The differential tests compare this across backends: identical
+        telemetry, SLA violations and migration log mean the run was
+        bit-reproducible.  The executing backend and wall clock are the
+        only fields allowed to differ.
+        """
+        out = self.to_dict()
+        del out["elapsed_s"]
+        out["fleet"] = dict(out["fleet"])
+        del out["fleet"]["backend"]
+        return out
+
+
+@dataclass(frozen=True)
+class _Move:
+    """One accepted migration decision."""
+
+    chain: str
+    src: tuple[str, int]
+    dst: tuple[str, int]
+    gain_j: float
+    cost_j: float
+    reason: str
+
+
+class FleetCoordinator:
+    """Drives a fleet of shard workers through the global control loop."""
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        *,
+        sla: str = "energy_efficiency",
+        sla_params: Mapping[str, Any] | None = None,
+        interval_s: float = 1.0,
+        seed: int = 0,
+        backend: str | None = None,
+        mp_context: str | None = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.fleet = fleet
+        self.sla = sla
+        self.sla_params = dict(sla_params or {})
+        self.interval_s = float(interval_s)
+        self.seed = int(seed)
+        self.backend = backend or fleet.backend
+        topo = fleet.topology
+        #: Global node index: position in ``topology.flatten()``.
+        self._global_nodes = topo.flatten()
+        self._global_index = {
+            key: g for g, key in enumerate(self._global_nodes)
+        }
+        # Initial deployment: chains_per_node per node, chain kinds
+        # cycling per the shard spec, consecutive chains sharing a flow
+        # group (the co-location affinity consolidation acts on).
+        group = max(1, fleet.workload.flow_group_size)
+        counter = 0
+        tickets: dict[str, list[ChainTicket]] = {s.name: [] for s in topo.shards}
+        self._placement: dict[str, tuple[str, int]] = {}
+        self._meta: dict[str, ChainTicket] = {}
+        for shard in topo.shards:
+            for node in range(shard.nodes):
+                for slot in range(shard.chains_per_node):
+                    name = f"{shard.name}-n{node}-c{slot}"
+                    ticket = ChainTicket(
+                        name=name,
+                        nfs=kind_nfs(shard.chain_kind, counter),
+                        flow=f"fg{counter // group}",
+                        node=node,
+                    )
+                    tickets[shard.name].append(ticket)
+                    self._placement[name] = (shard.name, node)
+                    self._meta[name] = ticket
+                    counter += 1
+        self._dynamic: set[str] = set()
+        self._arrivals_admitted = 0
+        self._interval = 0
+        self._cycle = 0
+        self._records: list[dict[str, Any]] = []
+        self._migrations: list[dict[str, Any]] = []
+        self._churn_log: list[dict[str, Any]] = []
+        self._cycle_log: list[dict[str, Any]] = []
+        self._migration_energy_j = 0.0
+        make = LocalShard if self.backend == "local" else ShardWorker
+        kwargs = {} if self.backend == "local" else {"mp_context": mp_context}
+        self.handles: dict[str, Any] = {}
+        try:
+            for shard in topo.shards:
+                config = ShardConfig(
+                    name=shard.name,
+                    n_nodes=shard.nodes,
+                    seed=self.seed,
+                    interval_s=self.interval_s,
+                    sla=self.sla,
+                    sla_params=self.sla_params,
+                    workload=fleet.workload.to_dict(),
+                    parked_power_w=fleet.migration.parked_power_w,
+                    initial_chains=tuple(tickets[shard.name]),
+                )
+                self.handles[shard.name] = make(config, **kwargs)
+        except BaseException:
+            self.close()
+            raise
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "FleetCoordinator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release every shard handle (reaps worker processes)."""
+        self._closed = True
+        for handle in getattr(self, "handles", {}).values():
+            handle.close()
+
+    # -- the global loop ---------------------------------------------------
+
+    @property
+    def interval(self) -> int:
+        """Global control intervals completed so far."""
+        return self._interval
+
+    @property
+    def n_chains(self) -> int:
+        """Chains currently deployed across the fleet."""
+        return len(self._placement)
+
+    def run_cycles(self, n_cycles: int) -> None:
+        """Run ``n_cycles`` gather/decide/scatter cycles."""
+        if self._closed:
+            raise RuntimeError("coordinator is closed")
+        if n_cycles < 1:
+            raise ValueError("n_cycles must be >= 1")
+        for _ in range(n_cycles):
+            self._one_cycle()
+
+    def _one_cycle(self) -> None:
+        fleet = self.fleet
+        start, n = self._interval, fleet.sync_every
+        # Scatter the run command to every shard, then gather; on the
+        # process backend the shards step concurrently between the two.
+        handles = list(self.handles.values())
+        for handle in handles:
+            handle.begin_run(start, n)
+        reports = [handle.finish_run() for handle in handles]
+        self._merge_records(reports)
+        self._interval += n
+
+        summaries: dict[str, ChainSummary] = {}
+        node_info: dict[tuple[str, int], NodeSummary] = {}
+        for report in reports:
+            for chain in report.chains:
+                summaries[chain.name] = chain
+            for node in report.nodes:
+                node_info[(node.shard, node.node)] = node
+
+        # One churn draw per cycle: departures free capacity before the
+        # consolidation pass, arrivals land on the post-migration layout.
+        n_arrivals, departures = self.fleet.workload.churn_events(
+            self.seed, self._cycle, sorted(self._dynamic), len(self._placement)
+        )
+        departed = self._apply_churn_departures(departures)
+        moves = self._plan_migrations(summaries, node_info, departed)
+        self._apply_migrations(moves)
+        arrivals = self._apply_churn_arrivals(n_arrivals)
+        knob_updates = self._steer_knobs(summaries, departed)
+        self._cycle_log.append(
+            {
+                "cycle": self._cycle,
+                "interval": self._interval,
+                "migrations": len(moves),
+                "migration_energy_j": sum(m.cost_j for m in moves),
+                "arrivals": arrivals,
+                "departures": len(departed),
+                "knob_updates": knob_updates,
+                "chains": len(self._placement),
+            }
+        )
+        self._cycle += 1
+
+    def _merge_records(self, reports: list[ShardReport]) -> None:
+        """Sum per-shard interval rows into fleet-wide records."""
+        by_index: dict[int, dict[str, Any]] = {}
+        for report in reports:
+            for row in report.intervals:
+                rec = by_index.setdefault(
+                    row.index,
+                    {
+                        "index": row.index,
+                        "energy_j": 0.0,
+                        "throughput_gbps": 0.0,
+                        "offered_pps": 0.0,
+                        "sla_violations": 0,
+                        "chains": 0,
+                    },
+                )
+                rec["energy_j"] += row.energy_j
+                rec["throughput_gbps"] += row.throughput_gbps
+                rec["offered_pps"] += row.offered_pps
+                rec["sla_violations"] += row.sla_violations
+                rec["chains"] += row.chains
+        self._records.extend(by_index[i] for i in sorted(by_index))
+
+    # -- churn -------------------------------------------------------------
+
+    def _apply_churn_departures(self, departures: list[str]) -> set[str]:
+        for name in departures:
+            shard, _node = self._placement.pop(name)
+            self.handles[shard].undeploy(name)
+            self._dynamic.discard(name)
+            self._meta.pop(name, None)
+            self._churn_log.append(
+                {
+                    "cycle": self._cycle,
+                    "interval": self._interval,
+                    "event": "departure",
+                    "chain": name,
+                    "shard": shard,
+                }
+            )
+        return set(departures)
+
+    def _node_counts(self) -> list[int]:
+        counts = [0] * len(self._global_nodes)
+        for key in self._placement.values():
+            counts[self._global_index[key]] += 1
+        return counts
+
+    def _apply_churn_arrivals(self, arrivals: int) -> int:
+        if not arrivals:
+            return 0
+        capacity = self.fleet.migration.capacity_per_node
+        group = max(1, self.fleet.workload.flow_group_size)
+        counts = self._node_counts()
+        admitted = 0
+        for _ in range(arrivals):
+            open_nodes = [
+                g for g in range(len(counts)) if counts[g] < capacity
+            ]
+            if not open_nodes:
+                break
+            target = min(open_nodes, key=lambda g: (counts[g], g))
+            k = self._arrivals_admitted
+            name = f"dyn-{self._cycle}-{k}"
+            shard, node = self._global_nodes[target]
+            ticket = ChainTicket(
+                name=name,
+                nfs=kind_nfs(CHAIN_KINDS[k % len(CHAIN_KINDS)]),
+                flow=f"fg-dyn-{k // group}",
+                node=node,
+            )
+            self.handles[shard].deploy(ticket)
+            self._placement[name] = (shard, node)
+            self._meta[name] = ticket
+            self._dynamic.add(name)
+            self._arrivals_admitted += 1
+            counts[target] += 1
+            admitted += 1
+            self._churn_log.append(
+                {
+                    "cycle": self._cycle,
+                    "interval": self._interval,
+                    "event": "arrival",
+                    "chain": name,
+                    "shard": shard,
+                    "node": node,
+                }
+            )
+        return admitted
+
+    # -- migration ---------------------------------------------------------
+
+    def _plan_migrations(
+        self,
+        summaries: dict[str, ChainSummary],
+        node_info: dict[tuple[str, int], NodeSummary],
+        departed: set[str],
+    ) -> list[_Move]:
+        """Greedy consolidation: plan target, keep net-positive moves.
+
+        ``consolidation_plan`` proposes the fleet-wide flow-affine
+        placement; each differing chain becomes a candidate move scored
+        by the :class:`~repro.fleet.spec.MigrationConfig` model, and the
+        best ``budget_per_cycle`` net-positive moves that keep SLA
+        headroom at the target are applied.
+        """
+        mig = self.fleet.migration
+        if mig.budget_per_cycle <= 0 or len(self._global_nodes) < 2:
+            return []
+        names = sorted(n for n in summaries if n not in departed)
+        if not names:
+            return []
+        # Departed chains must not influence any score (e.g. a phantom
+        # co-location bonus for a flow-mate that no longer exists).
+        summaries = {n: summaries[n] for n in names}
+        chains = [summaries[n] for n in names]
+        flow_paths = {n: [summaries[n].flow] for n in names}
+        try:
+            desired = consolidation_plan(
+                chains,
+                flow_paths,
+                len(self._global_nodes),
+                capacity=mig.capacity_per_node,
+            )
+        except ValueError:
+            # More chains than the capacity model admits (transient churn
+            # overshoot): skip consolidation this cycle.
+            return []
+        counts = self._node_counts()
+        # Chains of each flow group per desired global node (co-location
+        # bonus lookup).
+        candidates: list[tuple[float, str, int, float, float, str]] = []
+        for name in names:
+            chain = summaries[name]
+            cur = self._global_index[(chain.shard, chain.node)]
+            dst = desired[name]
+            if dst == cur:
+                continue
+            gain, cost, reason = self._score_move(
+                chain, cur, dst, counts, summaries, node_info
+            )
+            net = gain - cost
+            if net <= 0:
+                continue
+            candidates.append((net, name, dst, gain, cost, reason))
+        candidates.sort(key=lambda t: (-t[0], t[1]))
+        moves: list[_Move] = []
+        target_util = {
+            self._global_index[key]: info.utilization
+            for key, info in node_info.items()
+        }
+        for net, name, dst, gain, cost, reason in candidates:
+            if len(moves) >= mig.budget_per_cycle:
+                break
+            chain = summaries[name]
+            cur = self._global_index[(chain.shard, chain.node)]
+            if counts[dst] >= mig.capacity_per_node:
+                continue
+            # SLA headroom: the target's binding stage plus the incoming
+            # chain's must stay below the watermark.
+            if target_util.get(dst, 0.0) + chain.utilization > mig.headroom:
+                continue
+            moves.append(
+                _Move(
+                    chain=name,
+                    src=(chain.shard, chain.node),
+                    dst=self._global_nodes[dst],
+                    gain_j=gain,
+                    cost_j=cost,
+                    reason=reason,
+                )
+            )
+            counts[dst] += 1
+            counts[cur] -= 1
+            target_util[dst] = target_util.get(dst, 0.0) + chain.utilization
+        return moves
+
+    def _score_move(
+        self,
+        chain: ChainSummary,
+        cur: int,
+        dst: int,
+        counts: list[int],
+        summaries: dict[str, ChainSummary],
+        node_info: dict[tuple[str, int], NodeSummary],
+    ) -> tuple[float, float, str]:
+        """(gain_j, cost_j, reason) of one candidate move."""
+        mig = self.fleet.migration
+        src_key = (chain.shard, chain.node)
+        dst_shard, _dst_node = self._global_nodes[dst]
+        horizon_s = mig.amortize_intervals * self.interval_s
+        # Gain: vacating a node drops it to the parked floor (minus the
+        # dynamic power the chain re-adds at its target); otherwise only
+        # the flow-group LLC affinity bonus applies.
+        marginal_w = mig.dynamic_fraction * chain.power_w
+        src_info = node_info.get(src_key)
+        reason = "colocate"
+        gain_j = 0.0
+        if counts[cur] == 1 and src_info is not None:
+            gain_j = max(
+                0.0, src_info.power_w - mig.parked_power_w - marginal_w
+            ) * horizon_s
+            reason = "vacate"
+        dst_key = self._global_nodes[dst]
+        same_flow_at_dst = any(
+            other.flow == chain.flow
+            and (other.shard, other.node) == dst_key
+            and other.name != chain.name
+            for other in summaries.values()
+        )
+        if same_flow_at_dst:
+            gain_j += mig.colocation_gain_j
+        # Cost: redeploy overhead, plus shipping resident state + DMA
+        # buffer over the inter-shard link for cross-shard moves.
+        cost_j = mig.setup_j
+        if dst_shard != chain.shard:
+            link = self.fleet.topology.link_between(chain.shard, dst_shard)
+            transfer_s = (
+                (chain.state_bytes + chain.dma_bytes) * 8.0 / (link.gbps * 1e9)
+                + link.latency_s
+            )
+            cost_j += transfer_s * mig.link_power_w
+        return gain_j, cost_j, reason
+
+    def _apply_migrations(self, moves: list[_Move]) -> None:
+        for move in moves:
+            src_shard, _ = move.src
+            dst_shard, dst_node = move.dst
+            ticket = self.handles[src_shard].undeploy(move.chain)
+            self.handles[dst_shard].deploy(ticket.with_node(dst_node))
+            self._placement[move.chain] = (dst_shard, dst_node)
+            self._meta[move.chain] = ticket.with_node(dst_node)
+            self._migration_energy_j += move.cost_j
+            self._migrations.append(
+                {
+                    "cycle": self._cycle,
+                    "interval": self._interval,
+                    "chain": move.chain,
+                    "src_shard": src_shard,
+                    "src_node": move.src[1],
+                    "dst_shard": dst_shard,
+                    "dst_node": dst_node,
+                    "gain_j": move.gain_j,
+                    "cost_j": move.cost_j,
+                    "reason": move.reason,
+                }
+            )
+
+    # -- knob steering -----------------------------------------------------
+
+    def _steer_knobs(
+        self, summaries: dict[str, ChainSummary], departed: set[str]
+    ) -> int:
+        from repro.nfv.knobs import DEFAULT_RANGES as ranges
+
+        steering = self.fleet.steering
+        if not steering.enabled:
+            return 0
+        # Cap targets at the hardware ranges the nodes will clamp to, so
+        # a chain already pinned at the limits is not re-sent the same
+        # futile update every cycle.
+        share_max = min(steering.share_max, ranges.max_cpu_share)
+        share_min = max(steering.share_min, ranges.min_cpu_share)
+        per_shard: dict[str, dict[str, dict[str, Any]]] = {}
+        for name in sorted(summaries):
+            if name in departed or name not in self._placement:
+                continue
+            chain = summaries[name]
+            knobs = dict(chain.knobs)
+            if chain.utilization > steering.high_watermark:
+                knobs["cpu_share"] = min(
+                    knobs["cpu_share"] * steering.share_step, share_max
+                )
+                knobs["cpu_freq_ghz"] = min(
+                    knobs["cpu_freq_ghz"] + steering.freq_step_ghz,
+                    ranges.max_freq_ghz,
+                )
+            elif chain.utilization < steering.low_watermark:
+                knobs["cpu_share"] = max(
+                    knobs["cpu_share"] / steering.share_step, share_min
+                )
+                knobs["cpu_freq_ghz"] = max(
+                    knobs["cpu_freq_ghz"] - steering.freq_step_ghz,
+                    ranges.min_freq_ghz,
+                )
+            else:
+                continue
+            if knobs == dict(chain.knobs):
+                continue
+            shard, _node = self._placement[name]
+            per_shard.setdefault(shard, {})[name] = knobs
+        for shard, updates in sorted(per_shard.items()):
+            self.handles[shard].set_knobs(updates)
+        return sum(len(u) for u in per_shard.values())
+
+    # -- results -----------------------------------------------------------
+
+    def result(self, elapsed_s: float = 0.0) -> FleetResult:
+        """Package everything recorded so far into a result artifact."""
+        records = self._records
+        sim_energy = sum(r["energy_j"] for r in records)
+        throughputs = [r["throughput_gbps"] for r in records]
+        horizon_s = len(records) * self.interval_s
+        total_energy = sim_energy + self._migration_energy_j
+        mean_thr = sum(throughputs) / len(throughputs) if throughputs else 0.0
+        totals = {
+            "intervals": len(records),
+            "sim_energy_j": sim_energy,
+            "migration_energy_j": self._migration_energy_j,
+            "energy_j": total_energy,
+            "mean_throughput_gbps": mean_thr,
+            "mean_power_w": total_energy / horizon_s if horizon_s > 0 else 0.0,
+            "energy_efficiency": (
+                mean_thr / (total_energy / 1e3) if total_energy > 0 else 0.0
+            ),
+            "sla_violations": sum(r["sla_violations"] for r in records),
+            "migrations": len(self._migrations),
+            "arrivals": sum(
+                1 for c in self._churn_log if c["event"] == "arrival"
+            ),
+            "departures": sum(
+                1 for c in self._churn_log if c["event"] == "departure"
+            ),
+            "final_chains": len(self._placement),
+        }
+        fleet_info = self.fleet.to_dict()
+        fleet_info.update(
+            {
+                "backend": self.backend,
+                "sla": self.sla,
+                "sla_params": dict(self.sla_params),
+                "interval_s": self.interval_s,
+                "seed": self.seed,
+            }
+        )
+        return FleetResult(
+            fleet=fleet_info,
+            intervals=[dict(r) for r in records],
+            migrations=[dict(m) for m in self._migrations],
+            churn=[dict(c) for c in self._churn_log],
+            cycles=[dict(c) for c in self._cycle_log],
+            totals=totals,
+            elapsed_s=elapsed_s,
+        )
+
+
+def run_fleet(
+    spec,
+    *,
+    backend: str | None = None,
+    cycles: int | None = None,
+    out_path=None,
+    mp_context: str | None = None,
+) -> FleetResult:
+    """Run a scenario spec's fleet section end-to-end.
+
+    ``spec`` is a :class:`~repro.scenario.spec.ScenarioSpec` whose
+    ``fleet`` field holds the fleet section (inline or via a
+    :data:`~repro.fleet.spec.FLEETS` preset).  ``backend`` / ``cycles``
+    override the section without editing the spec.  Writes the JSON
+    artifact to ``out_path`` when given.
+    """
+    if getattr(spec, "fleet", None) is None:
+        raise ValueError(
+            f"scenario {spec.name!r} has no fleet section; add a 'fleet:' "
+            "dict (e.g. {'preset': 'small'}) to the spec"
+        )
+    fleet = FleetSpec.from_mapping(spec.fleet)
+    if cycles is not None:
+        fleet = fleet.with_updates(cycles=cycles)
+    if backend is not None:
+        fleet = fleet.with_updates(backend=backend)
+    t0 = time.perf_counter()
+    with FleetCoordinator(
+        fleet,
+        sla=spec.sla,
+        sla_params=spec.sla_params,
+        interval_s=spec.interval_s,
+        seed=spec.seed,
+        mp_context=mp_context,
+    ) as coordinator:
+        coordinator.run_cycles(fleet.cycles)
+        result = coordinator.result(time.perf_counter() - t0)
+    if out_path is not None:
+        result.save(out_path)
+    return result

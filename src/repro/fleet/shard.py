@@ -1,0 +1,547 @@
+"""Shard execution: one :class:`~repro.nfv.cluster_kernel.ClusterKernel` per shard.
+
+A shard is one cluster of the fleet, simulated as a deterministic state
+machine driven by coordinator commands:
+
+* ``run(start, n)`` — advance ``n`` global control intervals, pricing
+  every hosted chain through the shard's fused cluster kernel, and
+  return a :class:`ShardReport` summary (per-interval energy/SLA rows
+  plus per-chain and per-node state for the coordinator's decisions);
+* ``deploy(ticket)`` / ``undeploy(name)`` — chain arrival, departure and
+  the two halves of a cross-shard migration.  A :class:`ChainTicket` is
+  the serializable form of a chain in flight: NF names, knobs, flow
+  group, destination node;
+* ``set_knobs(updates)`` — the scatter half of the SDN steering loop.
+
+Two interchangeable backends execute the same :class:`ShardSim`:
+:class:`LocalShard` runs it in-process (tests, determinism reference,
+single-process baselines) and :class:`ShardWorker` runs it in a real
+worker process behind a pipe — the same message-loop plumbing as
+:mod:`repro.rl.apex_mp`'s actor workers, with commands batched so one
+coordinator cycle costs one round trip per shard.  Because every
+stochastic input is counter-based (:mod:`repro.fleet.workload`), both
+backends produce bit-identical telemetry for the same seed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.hw.server import ServerSpec
+from repro.nfv.chain import (
+    ServiceChain,
+    default_chain,
+    heavy_chain,
+    light_chain,
+)
+from repro.nfv.cluster_kernel import ClusterKernel
+from repro.nfv.engine import bottleneck_utilization
+from repro.nfv.knobs import KnobSettings
+from repro.nfv.node import Node
+from repro.fleet.topology import CHAIN_KINDS
+from repro.fleet.workload import WorkloadConfig
+
+#: NF line-ups of the deployable chain presets, derived from the
+#: :mod:`repro.nfv.chain` factories so fleet chains can never silently
+#: diverge from the identically-named single-cluster presets (kept as
+#: names so tickets serialize).
+_KIND_NFS: dict[str, tuple[str, ...]] = {
+    kind: tuple(nf.name for nf in factory().nfs)
+    for kind, factory in (
+        ("default", default_chain),
+        ("light", light_chain),
+        ("heavy", heavy_chain),
+    )
+}
+
+
+def kind_nfs(kind: str, index: int = 0) -> tuple[str, ...]:
+    """NF names for a chain preset id (``"mixed"`` cycles by ``index``)."""
+    if kind == "mixed":
+        kind = CHAIN_KINDS[index % len(CHAIN_KINDS)]
+    try:
+        return _KIND_NFS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown chain kind {kind!r}; options: {('mixed', *_KIND_NFS)}"
+        ) from None
+
+
+def knobs_dict(knobs: KnobSettings) -> dict[str, Any]:
+    """KnobSettings -> plain dict (ticket / report serialization)."""
+    return {
+        "cpu_share": knobs.cpu_share,
+        "cpu_freq_ghz": knobs.cpu_freq_ghz,
+        "llc_fraction": knobs.llc_fraction,
+        "dma_mb": knobs.dma_mb,
+        "batch_size": int(knobs.batch_size),
+    }
+
+
+@dataclass(frozen=True)
+class ChainTicket:
+    """A chain in serializable form: deployment order or migration cargo."""
+
+    name: str
+    nfs: tuple[str, ...]
+    flow: str
+    node: int
+    knobs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("chain ticket needs a name")
+        if not self.nfs:
+            raise ValueError("chain ticket needs at least one NF")
+        if self.node < 0:
+            raise ValueError("node index must be >= 0")
+        if not isinstance(self.nfs, tuple):
+            object.__setattr__(self, "nfs", tuple(self.nfs))
+        if not isinstance(self.knobs, dict):
+            object.__setattr__(self, "knobs", dict(self.knobs))
+
+    def with_node(self, node: int) -> "ChainTicket":
+        """The same chain re-targeted at another node (migration)."""
+        return replace(self, node=node)
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything one shard worker needs to build its simulation."""
+
+    name: str
+    n_nodes: int
+    seed: int
+    interval_s: float
+    sla: str
+    sla_params: Mapping[str, Any]
+    workload: Mapping[str, Any]
+    parked_power_w: float
+    initial_chains: tuple[ChainTicket, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("shard config needs a name")
+        if self.n_nodes < 1:
+            raise ValueError("shard needs at least one node")
+        if self.interval_s <= 0:
+            raise ValueError("interval must be positive")
+        if self.parked_power_w < 0:
+            raise ValueError("parked power must be >= 0")
+        if not isinstance(self.sla_params, dict):
+            object.__setattr__(self, "sla_params", dict(self.sla_params))
+        if not isinstance(self.workload, dict):
+            object.__setattr__(self, "workload", dict(self.workload))
+        if not isinstance(self.initial_chains, tuple):
+            object.__setattr__(self, "initial_chains", tuple(self.initial_chains))
+
+
+@dataclass(frozen=True)
+class IntervalRecord:
+    """One shard's aggregate telemetry for one global interval."""
+
+    index: int
+    energy_j: float
+    throughput_gbps: float
+    offered_pps: float
+    sla_violations: int
+    chains: int
+
+
+@dataclass(frozen=True)
+class ChainSummary:
+    """One chain's last-interval state, as the coordinator sees it."""
+
+    name: str
+    shard: str
+    node: int
+    flow: str
+    nfs: tuple[str, ...]
+    utilization: float  # bottleneck-stage utilization (the steering signal)
+    throughput_gbps: float
+    power_w: float
+    offered_pps: float
+    sla_ok: bool
+    state_bytes: float
+    dma_bytes: float
+    knobs: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class NodeSummary:
+    """One node's last-interval state (consolidation signals)."""
+
+    shard: str
+    node: int
+    chains: int
+    power_w: float
+    utilization: float  # max bottleneck utilization over hosted chains
+
+
+@dataclass(frozen=True)
+class ShardReport:
+    """The gather payload: one shard's answer to a ``run`` command."""
+
+    shard: str
+    intervals: tuple[IntervalRecord, ...]
+    chains: tuple[ChainSummary, ...]
+    nodes: tuple[NodeSummary, ...]
+
+
+class ShardSim:
+    """The deterministic shard state machine (backend-independent)."""
+
+    def __init__(self, config: ShardConfig):
+        from repro.scenario.catalog import SLAS  # deferred: registry import
+
+        self.config = config
+        self.workload = WorkloadConfig.from_dict(config.workload)
+        self.sla = SLAS.get(config.sla)(**dict(config.sla_params))
+        self.nodes = [
+            Node(ServerSpec(name=f"{config.name}.n{i}"))
+            for i in range(config.n_nodes)
+        ]
+        self.kernel = ClusterKernel(self.nodes)
+        self._tickets: dict[str, ChainTicket] = {}
+        self._interval = 0
+        self._node_energy = [0.0] * config.n_nodes
+        self._last_node_power = [0.0] * config.n_nodes
+        self._last_samples: dict[str, Any] = {}
+        for ticket in config.initial_chains:
+            self.deploy(ticket)
+
+    # -- deployment commands -----------------------------------------------
+
+    @property
+    def chain_names(self) -> list[str]:
+        """Hosted chains in sorted order."""
+        return sorted(self._tickets)
+
+    def deploy(self, ticket: ChainTicket) -> None:
+        """Deploy a ticketed chain on its target node."""
+        if ticket.name in self._tickets:
+            raise ValueError(f"chain {ticket.name!r} already on shard")
+        if not 0 <= ticket.node < len(self.nodes):
+            raise ValueError(
+                f"node {ticket.node} out of range for shard {self.config.name!r}"
+            )
+        chain = ServiceChain.from_names(ticket.name, list(ticket.nfs))
+        knobs = KnobSettings(**dict(ticket.knobs)) if ticket.knobs else None
+        self.nodes[ticket.node].deploy(chain, knobs)
+        self._tickets[ticket.name] = ticket
+
+    def undeploy(self, name: str) -> ChainTicket:
+        """Remove a chain; returns its ticket with the knobs that stuck."""
+        if name not in self._tickets:
+            raise KeyError(f"no chain {name!r} on shard {self.config.name!r}")
+        ticket = self._tickets.pop(name)
+        node = self.nodes[ticket.node]
+        applied = knobs_dict(node.chains[name].knobs)
+        node.undeploy(name)
+        self._last_samples.pop(name, None)
+        return replace(ticket, knobs=applied)
+
+    def set_knobs(self, updates: Mapping[str, Mapping[str, Any]]) -> None:
+        """Apply per-chain knob settings (clamped on the owning node)."""
+        for name, settings in updates.items():
+            if name not in self._tickets:
+                raise KeyError(f"no chain {name!r} on shard {self.config.name!r}")
+            node = self.nodes[self._tickets[name].node]
+            node.apply_knobs(name, KnobSettings(**dict(settings)))
+
+    # -- the stepping loop -------------------------------------------------
+
+    def run(self, start: int, n: int) -> ShardReport:
+        """Advance ``n`` global intervals ``[start, start + n)``.
+
+        ``start`` must match the shard's own clock — the fleet steps in
+        lockstep, and a drifted shard would silently draw the wrong
+        counter-based traffic.
+        """
+        if n < 1:
+            raise ValueError("must run at least one interval")
+        if start != self._interval:
+            raise ValueError(
+                f"shard {self.config.name!r} is at interval {self._interval}, "
+                f"coordinator asked for {start}"
+            )
+        cfg = self.config
+        dt = cfg.interval_s
+        seed = cfg.seed
+        records: list[IntervalRecord] = []
+        for index in range(start, start + n):
+            offered = {
+                name: self.workload.offered(seed, name, index, dt)
+                for name in self._tickets
+            }
+            samples = self.kernel.step(offered, dt)
+            # Node-level energy: meter deltas, so idle (but unvacated)
+            # nodes are billed; a node with no chains at all is parked
+            # and billed at the parked floor instead.
+            energy = 0.0
+            for j, node in enumerate(self.nodes):
+                delta = node.meter.total_joules - self._node_energy[j]
+                self._node_energy[j] = node.meter.total_joules
+                node_j = delta if node.chains else cfg.parked_power_w * dt
+                self._last_node_power[j] = node_j / dt
+                energy += node_j
+            throughput = sum(s.throughput_gbps for s in samples.values())
+            offered_total = sum(pps for pps, _ in offered.values())
+            violations = sum(
+                0 if self.sla.satisfied(s) else 1 for s in samples.values()
+            )
+            records.append(
+                IntervalRecord(
+                    index=index,
+                    energy_j=energy,
+                    throughput_gbps=throughput,
+                    offered_pps=offered_total,
+                    sla_violations=violations,
+                    chains=len(samples),
+                )
+            )
+            self._last_samples = samples
+            self._interval += 1
+        chain_summaries = self._chain_summaries()
+        return ShardReport(
+            shard=cfg.name,
+            intervals=tuple(records),
+            chains=tuple(chain_summaries),
+            nodes=tuple(self._node_summaries(chain_summaries)),
+        )
+
+    def _chain_summaries(self) -> list[ChainSummary]:
+        out: list[ChainSummary] = []
+        for name in sorted(self._tickets):
+            ticket = self._tickets[name]
+            hosted = self.nodes[ticket.node].chains[name]
+            sample = self._last_samples.get(name)
+            out.append(
+                ChainSummary(
+                    name=name,
+                    shard=self.config.name,
+                    node=ticket.node,
+                    flow=ticket.flow,
+                    nfs=ticket.nfs,
+                    utilization=(
+                        bottleneck_utilization(sample) if sample is not None else 0.0
+                    ),
+                    throughput_gbps=(
+                        sample.throughput_gbps if sample is not None else 0.0
+                    ),
+                    power_w=sample.power_w if sample is not None else 0.0,
+                    offered_pps=sample.offered_pps if sample is not None else 0.0,
+                    sla_ok=(
+                        bool(self.sla.satisfied(sample))
+                        if sample is not None
+                        else True
+                    ),
+                    state_bytes=hosted.chain.total_state_bytes,
+                    dma_bytes=hosted.knobs.dma_bytes,
+                    knobs=knobs_dict(hosted.knobs),
+                )
+            )
+        return out
+
+    def _node_summaries(
+        self, chain_summaries: list[ChainSummary]
+    ) -> list[NodeSummary]:
+        by_node: dict[int, list[ChainSummary]] = {}
+        for summary in chain_summaries:
+            by_node.setdefault(summary.node, []).append(summary)
+        out: list[NodeSummary] = []
+        for j, node in enumerate(self.nodes):
+            hosted = by_node.get(j, [])
+            out.append(
+                NodeSummary(
+                    shard=self.config.name,
+                    node=j,
+                    chains=len(hosted),
+                    power_w=self._last_node_power[j],
+                    utilization=max((c.utilization for c in hosted), default=0.0),
+                )
+            )
+        return out
+
+
+# -- backends ------------------------------------------------------------------
+
+
+class LocalShard:
+    """In-process shard handle: the determinism reference backend."""
+
+    backend = "local"
+
+    def __init__(self, config: ShardConfig):
+        self.sim = ShardSim(config)
+        self._pending: ShardReport | None = None
+
+    def begin_run(self, start: int, n: int) -> None:
+        """Start one run command (executes synchronously in-process)."""
+        if self._pending is not None:
+            raise RuntimeError("previous run not collected")
+        self._pending = self.sim.run(start, n)
+
+    def finish_run(self) -> ShardReport:
+        """Collect the report of the last :meth:`begin_run`."""
+        if self._pending is None:
+            raise RuntimeError("no run in flight")
+        report, self._pending = self._pending, None
+        return report
+
+    def deploy(self, ticket: ChainTicket) -> None:
+        """Deploy a ticketed chain."""
+        self.sim.deploy(ticket)
+
+    def undeploy(self, name: str) -> ChainTicket:
+        """Remove a chain; returns its migration ticket."""
+        return self.sim.undeploy(name)
+
+    def set_knobs(self, updates: Mapping[str, Mapping[str, Any]]) -> None:
+        """Apply per-chain knob settings."""
+        self.sim.set_knobs(updates)
+
+    def close(self) -> None:
+        """No resources to release in-process."""
+
+
+def shard_worker(config: ShardConfig, conn) -> None:
+    """Worker-process main loop (one shard's NF/SDN agent).
+
+    Construction is part of the protocol: the worker reports ``ready``
+    (or the construction error) before entering the command loop, so a
+    bad config surfaces as the real exception message in the parent —
+    exactly where the local backend would raise it — instead of a dead
+    pipe on the first command.
+    """
+    try:
+        sim = ShardSim(config)
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        return
+    conn.send(("ready", config.name))
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "stop":
+                conn.send(("stopped", config.name))
+                return
+            try:
+                if kind == "run":
+                    conn.send(("report", sim.run(msg[1], msg[2])))
+                elif kind == "deploy":
+                    sim.deploy(msg[1])
+                    conn.send(("ok",))
+                elif kind == "undeploy":
+                    conn.send(("ticket", sim.undeploy(msg[1])))
+                elif kind == "knobs":
+                    sim.set_knobs(msg[1])
+                    conn.send(("ok",))
+                else:
+                    conn.send(("error", f"unknown message {kind!r}"))
+            except Exception as exc:  # keep the worker alive; report back
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        return
+
+
+class ShardWorker:
+    """Process-backed shard handle: one worker process, one pipe.
+
+    The coordinator overlaps shards by sending every handle its ``run``
+    command before collecting any report; deployment and knob commands
+    are synchronous (they are rare and must be ordered).
+    """
+
+    backend = "process"
+
+    def __init__(self, config: ShardConfig, *, mp_context: str | None = None):
+        ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        self.name = config.name
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._proc = ctx.Process(
+            target=shard_worker, args=(config, child_conn), daemon=True
+        )
+        self._proc.start()
+        self._in_flight = False
+        self._closed = False
+        try:
+            self._recv("ready")
+        except BaseException:
+            self.close()
+            raise
+
+    def _recv(self, expect: str):
+        try:
+            msg = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard {self.name!r} worker died without replying"
+            ) from None
+        if msg[0] == "error":
+            raise RuntimeError(f"shard {self.name!r} worker: {msg[1]}")
+        if msg[0] != expect:  # pragma: no cover - protocol bug
+            raise RuntimeError(f"shard {self.name!r}: expected {expect!r}, got {msg[0]!r}")
+        return msg[1] if len(msg) > 1 else None
+
+    def begin_run(self, start: int, n: int) -> None:
+        """Dispatch one run command without waiting for the report."""
+        if self._in_flight:
+            raise RuntimeError("previous run not collected")
+        self._conn.send(("run", start, n))
+        self._in_flight = True
+
+    def finish_run(self) -> ShardReport:
+        """Block for the report of the last :meth:`begin_run`."""
+        if not self._in_flight:
+            raise RuntimeError("no run in flight")
+        self._in_flight = False
+        return self._recv("report")
+
+    def deploy(self, ticket: ChainTicket) -> None:
+        """Deploy a ticketed chain (synchronous)."""
+        self._conn.send(("deploy", ticket))
+        self._recv("ok")
+
+    def undeploy(self, name: str) -> ChainTicket:
+        """Remove a chain; returns its migration ticket (synchronous)."""
+        self._conn.send(("undeploy", name))
+        return self._recv("ticket")
+
+    def set_knobs(self, updates: Mapping[str, Mapping[str, Any]]) -> None:
+        """Apply per-chain knob settings (synchronous)."""
+        self._conn.send(("knobs", dict(updates)))
+        self._recv("ok")
+
+    def close(self) -> None:
+        """Stop the worker and reap its process."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):  # pragma: no cover
+            pass
+        else:
+            try:
+                if self._conn.poll(2.0):
+                    self._conn.recv()
+            except (EOFError, OSError):  # pragma: no cover
+                pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():  # pragma: no cover - stuck worker
+            self._proc.terminate()
+            self._proc.join(timeout=2.0)
+
+    def __enter__(self) -> "ShardWorker":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,212 @@
+"""Fleet topology: shards of clusters joined by inter-shard links.
+
+A :class:`FleetTopology` is pure data — JSON-round-trippable like a
+:class:`~repro.scenario.spec.ScenarioSpec` — describing the shape of the
+fleet: how many shards, how many NF-host nodes and initially deployed
+chains per shard, and the capacity/latency of the links the cross-shard
+chain migrations travel over.  Links not listed explicitly fall back to
+the topology's default full-mesh link, so small specs stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Chain presets a shard may deploy; "mixed" cycles through all three.
+CHAIN_KINDS = ("default", "light", "heavy")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: a cluster of homogeneous NF-host nodes."""
+
+    name: str
+    nodes: int = 2
+    chains_per_node: int = 2
+    #: Chain preset for the initial deployment: one of
+    #: :data:`CHAIN_KINDS` or ``"mixed"`` (cycles through them).
+    chain_kind: str = "mixed"
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError("shard needs a non-empty name")
+        if self.nodes < 1:
+            raise ValueError("shard needs at least one node")
+        if self.chains_per_node < 0:
+            raise ValueError("chains_per_node must be >= 0")
+        if self.chain_kind != "mixed" and self.chain_kind not in CHAIN_KINDS:
+            raise ValueError(
+                f"unknown chain kind {self.chain_kind!r}; "
+                f"options: {('mixed', *CHAIN_KINDS)}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form."""
+        return {
+            "name": self.name,
+            "nodes": self.nodes,
+            "chains_per_node": self.chains_per_node,
+            "chain_kind": self.chain_kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShardSpec":
+        """Build (and validate) from a plain dict."""
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class InterShardLink:
+    """A bidirectional link between two shards (migration transport)."""
+
+    a: str
+    b: str
+    gbps: float = 40.0
+    latency_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if not self.a or not self.b:
+            raise ValueError("link endpoints need names")
+        if self.a == self.b:
+            raise ValueError(f"link endpoints must differ (got {self.a!r} twice)")
+        if self.gbps <= 0:
+            raise ValueError("link capacity must be positive")
+        if self.latency_s < 0:
+            raise ValueError("link latency must be >= 0")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Direction-independent endpoint pair."""
+        return tuple(sorted((self.a, self.b)))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form."""
+        return {"a": self.a, "b": self.b, "gbps": self.gbps, "latency_s": self.latency_s}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InterShardLink":
+        """Build (and validate) from a plain dict."""
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FleetTopology:
+    """Shards plus the inter-shard links between them."""
+
+    shards: tuple[ShardSpec, ...]
+    links: tuple[InterShardLink, ...] = ()
+    #: Fallback full-mesh link used for shard pairs without an explicit
+    #: :class:`InterShardLink` entry.
+    default_link_gbps: float = 40.0
+    default_link_latency_s: float = 2e-3
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.shards, tuple):
+            object.__setattr__(self, "shards", tuple(self.shards))
+        if not isinstance(self.links, tuple):
+            object.__setattr__(self, "links", tuple(self.links))
+        if not self.shards:
+            raise ValueError("fleet needs at least one shard")
+        names = [s.name for s in self.shards]
+        if len(names) != len(set(names)):
+            raise ValueError(f"shard names must be unique: {names}")
+        if self.default_link_gbps <= 0:
+            raise ValueError("default link capacity must be positive")
+        if self.default_link_latency_s < 0:
+            raise ValueError("default link latency must be >= 0")
+        known = set(names)
+        seen: set[tuple[str, str]] = set()
+        for link in self.links:
+            unknown = {link.a, link.b} - known
+            if unknown:
+                raise ValueError(f"link references unknown shards {sorted(unknown)}")
+            if link.key in seen:
+                raise ValueError(f"duplicate link between {link.key}")
+            seen.add(link.key)
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards."""
+        return len(self.shards)
+
+    @property
+    def total_nodes(self) -> int:
+        """NF-host nodes across the whole fleet."""
+        return sum(s.nodes for s in self.shards)
+
+    @property
+    def total_chains(self) -> int:
+        """Initially deployed chains across the whole fleet."""
+        return sum(s.nodes * s.chains_per_node for s in self.shards)
+
+    def shard(self, name: str) -> ShardSpec:
+        """Look a shard up by name."""
+        for s in self.shards:
+            if s.name == name:
+                return s
+        raise KeyError(f"no shard {name!r}; shards: {[s.name for s in self.shards]}")
+
+    def link_between(self, a: str, b: str) -> InterShardLink:
+        """The link two shards migrate over (explicit entry or default)."""
+        self.shard(a), self.shard(b)  # raise on unknown names
+        if a == b:
+            raise ValueError("no inter-shard link within one shard")
+        key = tuple(sorted((a, b)))
+        for link in self.links:
+            if link.key == key:
+                return link
+        return InterShardLink(
+            key[0], key[1], self.default_link_gbps, self.default_link_latency_s
+        )
+
+    def flatten(self) -> list[tuple[str, int]]:
+        """Global node list: ``(shard_name, node_index)`` in shard order.
+
+        The coordinator's global placement (``consolidation_plan`` over
+        the whole fleet) indexes nodes by position in this list.
+        """
+        return [(s.name, i) for s in self.shards for i in range(s.nodes)]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; ``from_dict(to_dict())`` is the identity."""
+        return {
+            "shards": [s.to_dict() for s in self.shards],
+            "links": [l.to_dict() for l in self.links],
+            "default_link_gbps": self.default_link_gbps,
+            "default_link_latency_s": self.default_link_latency_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetTopology":
+        """Build (and validate) from a plain dict."""
+        data = dict(data)
+        shards = tuple(ShardSpec.from_dict(s) for s in data.pop("shards", ()))
+        links = tuple(InterShardLink.from_dict(l) for l in data.pop("links", ()))
+        return cls(shards=shards, links=links, **data)
+
+    @staticmethod
+    def uniform(
+        n_shards: int,
+        nodes: int = 2,
+        chains_per_node: int = 2,
+        *,
+        chain_kind: str = "mixed",
+        link_gbps: float = 40.0,
+        link_latency_s: float = 2e-3,
+    ) -> "FleetTopology":
+        """A homogeneous full-mesh fleet (the common benchmark shape)."""
+        if n_shards < 1:
+            raise ValueError("fleet needs at least one shard")
+        return FleetTopology(
+            shards=tuple(
+                ShardSpec(f"s{i}", nodes, chains_per_node, chain_kind)
+                for i in range(n_shards)
+            ),
+            default_link_gbps=link_gbps,
+            default_link_latency_s=link_latency_s,
+        )

@@ -1,0 +1,225 @@
+"""Dynamic fleet workloads: diurnal curves, flash crowds, chain churn.
+
+The single-cluster experiments drive each chain with one stateful
+:class:`~repro.traffic.generators.TrafficGenerator`.  A fleet cannot do
+that: chains *migrate* between shards (and between worker processes), so
+any RNG state carried inside a generator would have to be shipped along
+and replayed in exactly the same order for the run to stay reproducible.
+
+Instead, every stochastic input here is **counter-based**: the draw for
+chain ``c`` at global interval ``t`` comes from a fresh generator seeded
+on ``(experiment seed, stream name, t)`` via :func:`interval_stream`.  A
+chain's offered-load trajectory is therefore a pure function of the spec
+— independent of which shard hosts it, of its migration history, and of
+the worker count — which is what makes process-backed fleet runs
+bit-identical to the in-process reference.
+
+The load shapes themselves reuse :mod:`repro.traffic.generators`
+(:class:`~repro.traffic.generators.DiurnalGenerator` for the day/night
+curve); flash crowds multiply the base rate for a bounded window, and
+Poisson churn (chain arrival/departure) is drawn per coordinator cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.traffic.generators import ConstantRateGenerator, DiurnalGenerator
+from repro.utils.rng import hash_name
+
+#: Load profiles a fleet workload may use.
+PROFILES = ("constant", "diurnal")
+
+
+def interval_stream(seed: int, name: str, index: int) -> np.random.Generator:
+    """A fresh generator keyed on ``(seed, name, index)`` only.
+
+    Counter-based randomness: no state survives between draws, so any
+    component in any process reproduces the same stream from the same
+    key.  ``name`` is hashed with the same order-independent FNV-1a as
+    :class:`~repro.utils.rng.StreamFactory`, so streams for different
+    names (and different indices) are statistically independent.
+    """
+    if index < 0:
+        raise ValueError("interval index must be >= 0")
+    seq = np.random.SeedSequence(entropy=seed, spawn_key=(hash_name(name), index))
+    return np.random.default_rng(seq)
+
+
+@dataclass(frozen=True)
+class FlashCrowdConfig:
+    """Sudden bounded load spikes on individual chains."""
+
+    #: Per-chain, per-interval probability that a flash crowd starts.
+    probability: float = 0.0
+    multiplier: float = 3.0
+    duration_intervals: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("flash probability must be in [0, 1]")
+        if self.multiplier < 1.0:
+            raise ValueError("flash multiplier must be >= 1")
+        if self.duration_intervals < 1:
+            raise ValueError("flash duration must be >= 1 interval")
+
+
+@dataclass(frozen=True)
+class ChurnConfig:
+    """Poisson chain arrival/departure per coordinator cycle."""
+
+    #: Poisson mean of new-chain arrivals per coordinator cycle.
+    arrivals_per_cycle: float = 0.0
+    #: Per-dynamic-chain departure probability per coordinator cycle.
+    departure_prob: float = 0.0
+    #: Hard cap on simultaneously deployed chains (admission control).
+    max_chains: int = 256
+
+    def __post_init__(self) -> None:
+        if self.arrivals_per_cycle < 0:
+            raise ValueError("arrival rate must be >= 0")
+        if not 0.0 <= self.departure_prob <= 1.0:
+            raise ValueError("departure probability must be in [0, 1]")
+        if self.max_chains < 1:
+            raise ValueError("max_chains must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The fleet's offered-load model, shared by every shard."""
+
+    profile: str = "diurnal"
+    peak_rate_pps: float = 1.5e6
+    trough_fraction: float = 0.3
+    period_s: float = 256.0
+    noise_std: float = 0.03
+    packet_bytes: float = 1518.0
+    #: Consecutive chains per flow group (the co-location affinity unit
+    #: ``consolidation_plan`` groups by).
+    flow_group_size: int = 2
+    flash: FlashCrowdConfig = field(default_factory=FlashCrowdConfig)
+    churn: ChurnConfig = field(default_factory=ChurnConfig)
+
+    def __post_init__(self) -> None:
+        if self.profile not in PROFILES:
+            raise ValueError(
+                f"unknown workload profile {self.profile!r}; options: {PROFILES}"
+            )
+        if self.peak_rate_pps <= 0:
+            raise ValueError("peak rate must be positive")
+        if not 0.0 <= self.trough_fraction <= 1.0:
+            raise ValueError("trough fraction must be in [0, 1]")
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.noise_std < 0:
+            raise ValueError("noise std must be >= 0")
+        if self.packet_bytes <= 0:
+            raise ValueError("packet size must be positive")
+        if self.flow_group_size < 1:
+            raise ValueError("flow_group_size must be >= 1")
+        # The base-shape generator is stateless (all randomness arrives
+        # through the per-call rng), so one instance serves every chain
+        # and interval; building it per draw would dominate the shard
+        # stepping hot loop.
+        object.__setattr__(self, "_base", self._base_generator())
+
+    # -- per-interval draws ------------------------------------------------
+
+    def _base_generator(self):
+        if self.profile == "diurnal":
+            return DiurnalGenerator(
+                peak_rate_pps=self.peak_rate_pps,
+                trough_fraction=self.trough_fraction,
+                period_s=self.period_s,
+                noise_std=self.noise_std,
+            )
+        return ConstantRateGenerator(self.peak_rate_pps)
+
+    def flash_multiplier(self, seed: int, chain_name: str, index: int) -> float:
+        """The flash-crowd factor for one chain at one interval.
+
+        A crowd that started at any interval in the trailing
+        ``duration_intervals`` window is still active; starts are
+        counter-based draws, so the factor is a pure function of the key.
+        """
+        cfg = self.flash
+        if cfg.probability <= 0.0:
+            return 1.0
+        for start in range(max(0, index - cfg.duration_intervals + 1), index + 1):
+            rng = interval_stream(seed, f"fleet/flash/{chain_name}", start)
+            if rng.random() < cfg.probability:
+                return cfg.multiplier
+        return 1.0
+
+    def offered(
+        self, seed: int, chain_name: str, index: int, dt_s: float
+    ) -> tuple[float, float]:
+        """Offered ``(pps, packet_bytes)`` for a chain at a global interval."""
+        rng = interval_stream(seed, f"fleet/load/{chain_name}", index)
+        rate = self._base.rate_at(index * dt_s, dt_s, rng)
+        rate *= self.flash_multiplier(seed, chain_name, index)
+        return float(rate), self.packet_bytes
+
+    # -- churn -------------------------------------------------------------
+
+    def churn_events(
+        self, seed: int, cycle: int, dynamic_chains: list[str], total_chains: int
+    ) -> tuple[int, list[str]]:
+        """Arrival count and departing chain names for one coordinator cycle.
+
+        Departures only ever touch the *dynamic* chains (those the churn
+        process itself admitted), iterated in sorted-name order so the
+        draw sequence is reproducible.  Arrivals respect ``max_chains``.
+        """
+        cfg = self.churn
+        if cfg.arrivals_per_cycle <= 0 and cfg.departure_prob <= 0:
+            return 0, []
+        rng = interval_stream(seed, "fleet/churn", cycle)
+        arrivals = (
+            int(rng.poisson(cfg.arrivals_per_cycle))
+            if cfg.arrivals_per_cycle > 0
+            else 0
+        )
+        departures = [
+            name
+            for name in sorted(dynamic_chains)
+            if cfg.departure_prob > 0 and rng.random() < cfg.departure_prob
+        ]
+        room = max(0, cfg.max_chains - (total_chains - len(departures)))
+        return min(arrivals, room), departures
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; ``from_dict(to_dict())`` is the identity."""
+        out: dict[str, Any] = {
+            "profile": self.profile,
+            "peak_rate_pps": self.peak_rate_pps,
+            "trough_fraction": self.trough_fraction,
+            "period_s": self.period_s,
+            "noise_std": self.noise_std,
+            "packet_bytes": self.packet_bytes,
+            "flow_group_size": self.flow_group_size,
+            "flash": {
+                "probability": self.flash.probability,
+                "multiplier": self.flash.multiplier,
+                "duration_intervals": self.flash.duration_intervals,
+            },
+            "churn": {
+                "arrivals_per_cycle": self.churn.arrivals_per_cycle,
+                "departure_prob": self.churn.departure_prob,
+                "max_chains": self.churn.max_chains,
+            },
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadConfig":
+        """Build (and validate) from a plain dict."""
+        data = dict(data)
+        flash = FlashCrowdConfig(**dict(data.pop("flash", {})))
+        churn = ChurnConfig(**dict(data.pop("churn", {})))
+        return cls(flash=flash, churn=churn, **data)

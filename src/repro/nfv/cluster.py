@@ -142,6 +142,8 @@ def consolidation_plan(
     chains: list[ServiceChain],
     flow_paths: dict[str, list[str]],
     n_nodes: int,
+    *,
+    capacity: int | None = None,
 ) -> dict[str, int]:
     """Assign chains to nodes, co-locating chains that share flow paths.
 
@@ -153,16 +155,30 @@ def consolidation_plan(
     Parameters
     ----------
     chains:
-        Chains to place.
+        Chains to place (anything with a unique ``name``).
     flow_paths:
         chain name -> list of flow identifiers it processes.
     n_nodes:
         Available NF-host nodes.
+    capacity:
+        Optional per-node chain limit.  Groups larger than the limit are
+        split; when a whole (sub-)group no longer fits on any node its
+        members are placed individually — co-location is a preference,
+        never a reason to oversubscribe a node.  Raises when the chains
+        cannot fit at all (``len(chains) > capacity * n_nodes``).
 
     Returns chain name -> node index.
     """
     if n_nodes <= 0:
         raise ValueError("need at least one node")
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if len(chains) > capacity * n_nodes:
+            raise ValueError(
+                f"{len(chains)} chains cannot fit on {n_nodes} nodes "
+                f"of capacity {capacity}"
+            )
     names = [c.name for c in chains]
     if len(names) != len(set(names)):
         raise ValueError("duplicate chain names")
@@ -193,11 +209,36 @@ def consolidation_plan(
         groups.setdefault(find(name), []).append(name)
 
     # Largest groups first so co-located sets land on the emptiest node.
+    # With a capacity, oversized groups are pre-split into capacity-sized
+    # slices, and a slice that fits on no single node falls back to
+    # per-member placement (always possible: total fit is checked above).
     assignment: dict[str, int] = {}
     loads = [0] * n_nodes
+    placeable: list[list[str]] = []
     for _, members in sorted(groups.items(), key=lambda kv: -len(kv[1])):
-        target = int(np.argmin(loads))
-        for m in members:
-            assignment[m] = target
-        loads[target] += len(members)
+        if capacity is None or len(members) <= capacity:
+            placeable.append(members)
+        else:
+            placeable.extend(
+                members[i : i + capacity] for i in range(0, len(members), capacity)
+            )
+
+    def fits(node: int, count: int) -> bool:
+        return capacity is None or loads[node] + count <= capacity
+
+    for members in placeable:
+        rooms = [n for n in range(n_nodes) if fits(n, len(members))]
+        if rooms:
+            target = min(rooms, key=lambda n: (loads[n], n))
+            for m in members:
+                assignment[m] = target
+            loads[target] += len(members)
+        else:
+            for m in members:
+                target = min(
+                    (n for n in range(n_nodes) if fits(n, 1)),
+                    key=lambda n: (loads[n], n),
+                )
+                assignment[m] = target
+                loads[target] += 1
     return assignment

@@ -111,6 +111,32 @@ def greennfv_apex() -> ScenarioSpec:
     )
 
 
+@SCENARIOS.register("fleet-small")
+def fleet_small() -> ScenarioSpec:
+    """A 2-shard fleet with churn and flash crowds (``repro fleet``)."""
+    return ScenarioSpec(
+        name="fleet-small",
+        sla="energy_efficiency",
+        controller="static",  # the fleet coordinator is the controller
+        traffic="line_rate",
+        fleet={"preset": "small"},
+        seed=11,
+    )
+
+
+@SCENARIOS.register("fleet-datacenter")
+def fleet_datacenter() -> ScenarioSpec:
+    """The 4 x 8 x 4 datacenter fleet (the ``fleet_scale`` bench shape)."""
+    return ScenarioSpec(
+        name="fleet-datacenter",
+        sla="energy_efficiency",
+        controller="static",
+        traffic="line_rate",
+        fleet={"preset": "datacenter"},
+        seed=11,
+    )
+
+
 @SWEEPS.register("comparison")
 def comparison() -> list[ScenarioSpec]:
     """The Fig. 9 seven-way line-up as declarative specs."""
@@ -131,9 +157,15 @@ def rules() -> list[ScenarioSpec]:
 
 def quick_spec(spec: ScenarioSpec) -> ScenarioSpec:
     """Shrink a spec's budgets for smoke runs (the CLI's ``--quick``)."""
-    return spec.with_updates(
+    changes: dict = dict(
         episodes=min(spec.episodes, 8),
         test_every=min(spec.test_every, 4),
         episode_len=min(spec.episode_len, 8),
         intervals=min(spec.intervals, 10),
     )
+    if spec.fleet is not None:
+        fleet = dict(spec.fleet)
+        fleet["cycles"] = min(int(fleet.get("cycles", 8)), 2)
+        fleet["sync_every"] = min(int(fleet.get("sync_every", 4)), 2)
+        changes["fleet"] = fleet
+    return spec.with_updates(**changes)

@@ -65,6 +65,12 @@ class ScenarioSpec:
     engine_params:
         Optional :class:`~repro.nfv.engine.EngineParams` overrides for
         the hardware/engine profile, as a field dict.
+    fleet:
+        Optional sharded multi-cluster section for ``repro fleet`` runs
+        (see :class:`repro.fleet.spec.FleetSpec`): a topology/workload/
+        policy dict, or ``{"preset": "small"}`` resolving a
+        :data:`~repro.fleet.spec.FLEETS` preset.  The fleet reuses the
+        spec's ``sla``/``sla_params``, ``interval_s`` and ``seed``.
     seed:
         The experiment seed; every RNG stream of the run derives from it.
     """
@@ -84,6 +90,7 @@ class ScenarioSpec:
     intervals: int = 40
     interval_s: float = 1.0
     engine_params: Mapping[str, Any] | None = None
+    fleet: Mapping[str, Any] | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -96,6 +103,8 @@ class ScenarioSpec:
                 object.__setattr__(self, key, dict(value))
         if self.engine_params is not None and not isinstance(self.engine_params, dict):
             object.__setattr__(self, "engine_params", dict(self.engine_params))
+        if self.fleet is not None and not isinstance(self.fleet, dict):
+            object.__setattr__(self, "fleet", dict(self.fleet))
         self.validate()
 
     def __hash__(self) -> int:
@@ -153,6 +162,12 @@ class ScenarioSpec:
             raise ValueError("seed must be an integer")
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
+        if self.fleet is not None:
+            # Deferred import: the fleet subsystem builds on the scenario
+            # registries and must not be an import-time dependency here.
+            from repro.fleet.spec import FleetSpec
+
+            FleetSpec.from_mapping(self.fleet)
 
     # -- serialization -----------------------------------------------------------
 
@@ -166,6 +181,8 @@ class ScenarioSpec:
             del out["nfs"]
         if out["engine_params"] is None:
             del out["engine_params"]
+        if out["fleet"] is None:
+            del out["fleet"]
         return out
 
     @classmethod

@@ -29,7 +29,7 @@ from repro.nfv.cluster_kernel import ClusterKernel
 from repro.nfv.engine import TelemetrySample, bottleneck_utilization
 from repro.nfv.node import Node
 from repro.sdn.flows import FlowSpec, SteeringTable
-from repro.utils.rng import RngLike, as_generator
+from repro.utils.rng import RngLike, private_stream
 
 
 @dataclass(frozen=True)
@@ -98,7 +98,10 @@ class SdnController:
         self._flows: dict[str, FlowSpec] = {}
         self._cooldown: dict[str, int] = {}
         self._t = 0.0
-        self._rng = as_generator(rng)
+        # Private stream: a passed Generator is spawned from, not stored,
+        # so two controllers built from the same parent (two clusters of
+        # one fleet, say) can never interleave draws on shared RNG state.
+        self._rng = private_stream(rng)
         #: Cluster-wide stepping: one fused kernel pass per interval over
         #: every registered node.  ``use_kernel=False`` keeps the
         #: per-node ``step_all`` reference path (bit-identical; the

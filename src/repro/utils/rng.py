@@ -52,6 +52,24 @@ def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(n)]
 
 
+def private_stream(rng: RngLike) -> np.random.Generator:
+    """A generator private to one component, never aliasing the input.
+
+    Integer seeds and ``None`` behave exactly like :func:`as_generator`
+    (a fresh generator per call).  A passed :class:`~numpy.random.Generator`
+    is never stored as-is: a child stream is spawned from it instead, so
+    two components handed the *same* generator instance can never
+    interleave draws on shared state — the silent cross-component RNG
+    sharing that makes two same-config runs with different seeds
+    impossible to tell apart from each other's perturbations.  Spawning
+    advances the parent's spawn counter, so successive components derive
+    distinct, deterministically reproducible streams.
+    """
+    if isinstance(rng, np.random.Generator):
+        return spawn(rng, 1)[0]
+    return as_generator(rng)
+
+
 class StreamFactory:
     """Named child-stream factory for a whole experiment.
 

@@ -1,0 +1,499 @@
+"""Fleet subsystem tests: topology, workloads, shards, the coordinator,
+the differential local-vs-process guarantee, and the ``repro fleet`` CLI.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FLEETS,
+    ChainTicket,
+    ChurnConfig,
+    FlashCrowdConfig,
+    FleetCoordinator,
+    FleetResult,
+    FleetSpec,
+    FleetTopology,
+    InterShardLink,
+    LocalShard,
+    ShardConfig,
+    ShardSpec,
+    ShardWorker,
+    WorkloadConfig,
+    interval_stream,
+    run_fleet,
+)
+from repro.fleet.shard import ShardSim, kind_nfs
+from repro.scenario import SCENARIOS, ScenarioSpec
+
+
+def small_workload(**overrides):
+    base = dict(peak_rate_pps=8e5, period_s=64.0, flow_group_size=2)
+    base.update(overrides)
+    return WorkloadConfig(**base)
+
+
+def shard_config(name="s0", n_nodes=2, chains=2, seed=0, **overrides):
+    tickets = tuple(
+        ChainTicket(
+            name=f"{name}-n{i}-c{j}",
+            nfs=kind_nfs("mixed", i * chains + j),
+            flow=f"fg{(i * chains + j) // 2}",
+            node=i,
+        )
+        for i in range(n_nodes)
+        for j in range(chains)
+    )
+    base = dict(
+        name=name,
+        n_nodes=n_nodes,
+        seed=seed,
+        interval_s=1.0,
+        sla="energy_efficiency",
+        sla_params={},
+        workload=small_workload().to_dict(),
+        parked_power_w=12.0,
+        initial_chains=tickets,
+    )
+    base.update(overrides)
+    return ShardConfig(**base)
+
+
+def fleet_section(n_shards=2, nodes=2, chains_per_node=1, **overrides):
+    base = dict(
+        topology=FleetTopology.uniform(
+            n_shards, nodes=nodes, chains_per_node=chains_per_node
+        ).to_dict(),
+        workload=small_workload().to_dict(),
+        cycles=3,
+        sync_every=2,
+    )
+    base.update(overrides)
+    return base
+
+
+# -- topology ------------------------------------------------------------------
+
+
+class TestTopology:
+    def test_round_trip(self):
+        topo = FleetTopology(
+            shards=(ShardSpec("a", 2, 2), ShardSpec("b", 3, 1, "light")),
+            links=(InterShardLink("a", "b", gbps=100.0, latency_s=1e-3),),
+        )
+        assert FleetTopology.from_dict(topo.to_dict()) == topo
+
+    def test_uniform(self):
+        topo = FleetTopology.uniform(4, nodes=8, chains_per_node=4)
+        assert topo.n_shards == 4
+        assert topo.total_nodes == 32
+        assert topo.total_chains == 128
+        assert topo.flatten()[9] == ("s1", 1)
+
+    def test_duplicate_shard_names_raise(self):
+        with pytest.raises(ValueError, match="unique"):
+            FleetTopology(shards=(ShardSpec("a"), ShardSpec("a")))
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError, match="differ"):
+            InterShardLink("a", "a")
+        with pytest.raises(ValueError, match="unknown shards"):
+            FleetTopology(
+                shards=(ShardSpec("a"), ShardSpec("b")),
+                links=(InterShardLink("a", "ghost"),),
+            )
+        with pytest.raises(ValueError, match="duplicate link"):
+            FleetTopology(
+                shards=(ShardSpec("a"), ShardSpec("b")),
+                links=(InterShardLink("a", "b"), InterShardLink("b", "a")),
+            )
+
+    def test_link_between_explicit_and_default(self):
+        topo = FleetTopology(
+            shards=(ShardSpec("a"), ShardSpec("b"), ShardSpec("c")),
+            links=(InterShardLink("a", "b", gbps=100.0),),
+            default_link_gbps=25.0,
+        )
+        assert topo.link_between("b", "a").gbps == 100.0
+        assert topo.link_between("a", "c").gbps == 25.0
+        with pytest.raises(ValueError):
+            topo.link_between("a", "a")
+        with pytest.raises(KeyError):
+            topo.link_between("a", "ghost")
+
+    def test_empty_fleet_raises(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            FleetTopology(shards=())
+
+
+# -- workload ------------------------------------------------------------------
+
+
+class TestWorkload:
+    def test_interval_stream_is_counter_based(self):
+        a = interval_stream(7, "fleet/load/c0", 3).random(4)
+        b = interval_stream(7, "fleet/load/c0", 3).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, interval_stream(7, "fleet/load/c0", 4).random(4))
+        assert not np.array_equal(a, interval_stream(8, "fleet/load/c0", 3).random(4))
+        assert not np.array_equal(a, interval_stream(7, "fleet/load/c1", 3).random(4))
+
+    def test_offered_is_pure(self):
+        wl = small_workload(noise_std=0.1)
+        assert wl.offered(3, "c0", 5, 1.0) == wl.offered(3, "c0", 5, 1.0)
+        assert wl.offered(3, "c0", 5, 1.0) != wl.offered(3, "c0", 6, 1.0)
+
+    def test_diurnal_shape(self):
+        wl = small_workload(noise_std=0.0, trough_fraction=0.2, period_s=64.0)
+        trough = wl.offered(0, "c", 0, 1.0)[0]
+        peak = wl.offered(0, "c", 31, 1.0)[0]  # half period = peak
+        assert peak > trough
+        assert peak <= wl.peak_rate_pps
+
+    def test_flash_crowd_window(self):
+        wl = small_workload(
+            flash=FlashCrowdConfig(probability=1.0, multiplier=2.0, duration_intervals=3)
+        )
+        # probability 1: always flashing.
+        assert wl.flash_multiplier(0, "c", 10) == 2.0
+        calm = small_workload()
+        assert calm.flash_multiplier(0, "c", 10) == 1.0
+
+    def test_churn_events_deterministic_and_bounded(self):
+        wl = small_workload(
+            churn=ChurnConfig(arrivals_per_cycle=2.0, departure_prob=0.5, max_chains=4)
+        )
+        a = wl.churn_events(1, 0, ["d0", "d1"], 4)
+        b = wl.churn_events(1, 0, ["d0", "d1"], 4)
+        assert a == b
+        arrivals, departures = a
+        # max_chains=4 with 4 deployed: admissions limited to freed slots.
+        assert arrivals <= len(departures)
+
+    def test_round_trip(self):
+        wl = small_workload(
+            flash=FlashCrowdConfig(probability=0.1),
+            churn=ChurnConfig(arrivals_per_cycle=1.0),
+        )
+        assert WorkloadConfig.from_dict(wl.to_dict()) == wl
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="profile"):
+            WorkloadConfig(profile="sawtooth")
+        with pytest.raises(ValueError):
+            FlashCrowdConfig(probability=1.5)
+        with pytest.raises(ValueError):
+            ChurnConfig(departure_prob=-0.1)
+
+
+# -- fleet spec ----------------------------------------------------------------
+
+
+class TestFleetSpec:
+    def test_preset_resolution_with_overrides(self):
+        spec = FleetSpec.from_mapping({"preset": "small", "cycles": 2})
+        assert spec.cycles == 2
+        assert spec.topology.n_shards == 2
+
+    def test_round_trip(self):
+        spec = FleetSpec.from_mapping(fleet_section())
+        assert FleetSpec.from_mapping(spec.to_dict()) == spec
+
+    def test_unknown_fields_raise(self):
+        with pytest.raises(ValueError, match="unknown fleet fields"):
+            FleetSpec.from_mapping(fleet_section(bogus=1))
+
+    def test_needs_topology(self):
+        with pytest.raises(ValueError, match="topology"):
+            FleetSpec.from_mapping({"cycles": 2})
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            FleetSpec.from_mapping(fleet_section(backend="gpu"))
+
+    def test_all_presets_resolve(self):
+        for name in FLEETS:
+            spec = FleetSpec.from_mapping({"preset": name})
+            assert spec.topology.n_shards >= 1
+
+    def test_scenario_spec_embeds_fleet(self):
+        spec = ScenarioSpec(name="f", controller="static", fleet=fleet_section())
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.fleet is not None
+
+    def test_scenario_spec_rejects_bad_fleet(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="f", fleet={"preset": "ghost"})
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="f", fleet={"topology": {"shards": []}})
+
+
+# -- shard simulation ----------------------------------------------------------
+
+
+class TestShardSim:
+    def test_run_produces_telemetry(self):
+        sim = ShardSim(shard_config())
+        report = sim.run(0, 3)
+        assert [r.index for r in report.intervals] == [0, 1, 2]
+        assert all(r.energy_j > 0 for r in report.intervals)
+        assert all(r.chains == 4 for r in report.intervals)
+        assert len(report.chains) == 4
+        assert len(report.nodes) == 2
+        assert all(c.utilization >= 0 for c in report.chains)
+
+    def test_lockstep_clock_enforced(self):
+        sim = ShardSim(shard_config())
+        sim.run(0, 2)
+        with pytest.raises(ValueError, match="interval 2"):
+            sim.run(5, 2)
+
+    def test_deploy_undeploy_ticket_round_trip(self):
+        sim = ShardSim(shard_config())
+        sim.run(0, 1)
+        ticket = sim.undeploy("s0-n0-c0")
+        assert ticket.node == 0
+        assert set(ticket.knobs) == {
+            "cpu_share", "cpu_freq_ghz", "llc_fraction", "dma_mb", "batch_size",
+        }
+        sim.deploy(ticket.with_node(1))
+        assert sim.nodes[1].chains["s0-n0-c0"] is not None
+        with pytest.raises(ValueError, match="already"):
+            sim.deploy(ticket)
+        with pytest.raises(KeyError):
+            sim.undeploy("ghost")
+
+    def test_vacated_node_bills_parked_power(self):
+        config = shard_config(n_nodes=2, chains=1, parked_power_w=5.0)
+        sim = ShardSim(config)
+        sim.undeploy("s0-n1-c0")  # node 1 now empty -> parked
+        report = sim.run(0, 1)
+        busy_only = ShardSim(shard_config(n_nodes=1, chains=1, parked_power_w=5.0))
+        busy_report = busy_only.run(0, 1)
+        assert report.intervals[0].energy_j == pytest.approx(
+            busy_report.intervals[0].energy_j + 5.0
+        )
+        assert report.nodes[1].power_w == 5.0
+
+    def test_same_seed_bit_identical(self):
+        a = ShardSim(shard_config(seed=9)).run(0, 4)
+        b = ShardSim(shard_config(seed=9)).run(0, 4)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        cfg = shard_config(
+            seed=1, workload=small_workload(noise_std=0.2).to_dict()
+        )
+        cfg2 = shard_config(
+            seed=2, workload=small_workload(noise_std=0.2).to_dict()
+        )
+        a = ShardSim(cfg).run(0, 4)
+        b = ShardSim(cfg2).run(0, 4)
+        assert [r.offered_pps for r in a.intervals] != [
+            r.offered_pps for r in b.intervals
+        ]
+
+    def test_kind_nfs(self):
+        assert kind_nfs("light") == ("nat", "firewall")
+        assert kind_nfs("mixed", 0) != kind_nfs("mixed", 1)
+        with pytest.raises(ValueError, match="chain kind"):
+            kind_nfs("ghost")
+
+
+# -- coordinator (local backend) -----------------------------------------------
+
+
+class TestCoordinatorLocal:
+    def run_small(self, seed=3, **fleet_overrides):
+        spec = ScenarioSpec(
+            name="fleet-test",
+            controller="static",
+            fleet=fleet_section(**fleet_overrides),
+            seed=seed,
+        )
+        return run_fleet(spec)
+
+    def test_records_and_totals(self):
+        result = self.run_small()
+        assert len(result.intervals) == 6  # 3 cycles x 2 intervals
+        assert [r["index"] for r in result.intervals] == list(range(6))
+        assert result.totals["energy_j"] > 0
+        assert result.totals["intervals"] == 6
+        assert result.totals["final_chains"] == 4
+
+    def test_seeded_run_is_reproducible(self):
+        a = self.run_small(seed=5)
+        b = self.run_small(seed=5)
+        assert a.comparable() == b.comparable()
+
+    def test_consolidation_migrates_and_respects_capacity(self):
+        # 2 shards x 2 nodes x 1 chain with paired flow groups: the plan
+        # co-locates each pair, vacating nodes; gains beat costs.
+        result = self.run_small(cycles=4)
+        assert result.totals["migrations"] >= 1
+        for m in result.migrations:
+            assert m["gain_j"] > m["cost_j"]
+            assert m["reason"] in ("vacate", "colocate")
+        # No node may ever exceed the capacity bound.
+        placement: dict = {}
+        for m in result.migrations:
+            placement[m["chain"]] = (m["dst_shard"], m["dst_node"])
+        counts: dict = {}
+        for dst in placement.values():
+            counts[dst] = counts.get(dst, 0) + 1
+        capacity = FleetSpec.from_mapping(fleet_section()).migration.capacity_per_node
+        assert all(c <= capacity for c in counts.values())
+
+    def test_cross_shard_migration_costs_more(self):
+        result = self.run_small(cycles=6)
+        cross = [
+            m for m in result.migrations if m["src_shard"] != m["dst_shard"]
+        ]
+        same = [m for m in result.migrations if m["src_shard"] == m["dst_shard"]]
+        if cross and same:
+            assert min(c["cost_j"] for c in cross) > max(s["cost_j"] for s in same)
+
+    def test_churn_admits_and_retires(self):
+        result = self.run_small(
+            workload=small_workload(
+                churn=ChurnConfig(
+                    arrivals_per_cycle=2.0, departure_prob=0.3, max_chains=12
+                )
+            ).to_dict(),
+            cycles=5,
+        )
+        assert result.totals["arrivals"] > 0
+        events = {(c["event"], c["chain"]) for c in result.churn}
+        arrived = {c for e, c in events if e == "arrival"}
+        departed = {c for e, c in events if e == "departure"}
+        assert departed <= arrived  # only dynamic chains depart
+
+    def test_artifact_round_trip(self, tmp_path):
+        result = self.run_small()
+        path = result.save(tmp_path / "fleet.json")
+        again = FleetResult.load(path)
+        assert again.to_dict() == result.to_dict()
+
+    def test_requires_fleet_section(self):
+        spec = ScenarioSpec(name="plain")
+        with pytest.raises(ValueError, match="no fleet section"):
+            run_fleet(spec)
+
+    def test_coordinator_closed_refuses_work(self):
+        fleet = FleetSpec.from_mapping(fleet_section())
+        coordinator = FleetCoordinator(fleet, seed=1)
+        coordinator.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            coordinator.run_cycles(1)
+
+
+# -- the differential guarantee ------------------------------------------------
+
+
+class TestProcessBackend:
+    @pytest.mark.fleet_mp
+    def test_one_cycle_smoke(self):
+        """One multi-process coordinator cycle: the CI gate on ``fleet_mp``."""
+        fleet = FleetSpec.from_mapping(fleet_section(cycles=1))
+        with FleetCoordinator(fleet, seed=2, backend="process") as coordinator:
+            coordinator.run_cycles(1)
+            result = coordinator.result()
+        assert result.totals["intervals"] == 2
+        assert result.totals["energy_j"] > 0
+
+    @pytest.mark.fleet_mp
+    def test_process_run_bit_identical_to_local(self):
+        """The acceptance bar: energy, SLA violations and the migration
+        log of a process-backed run match the LocalShard reference
+        bit-for-bit (same floats, same decisions)."""
+        spec = ScenarioSpec(
+            name="fleet-diff",
+            controller="static",
+            fleet=fleet_section(
+                cycles=4,
+                workload=small_workload(
+                    noise_std=0.1,
+                    flash=FlashCrowdConfig(probability=0.1, multiplier=2.0),
+                    churn=ChurnConfig(
+                        arrivals_per_cycle=1.0, departure_prob=0.2, max_chains=10
+                    ),
+                ).to_dict(),
+            ),
+            seed=7,
+        )
+        local = run_fleet(spec, backend="local")
+        proc = run_fleet(spec, backend="process")
+        assert proc.comparable() == local.comparable()
+
+    @pytest.mark.fleet_mp
+    def test_worker_error_propagates(self):
+        config = shard_config()
+        with ShardWorker(config) as worker:
+            with pytest.raises(RuntimeError, match="ghost"):
+                worker.undeploy("ghost")
+            # Unexpected exception types must not kill the worker either
+            # (LocalShard raises TypeError for the same bad ticket).
+            bad = ChainTicket(
+                name="bad", nfs=("nat",), flow="f", node=0, knobs={"bogus": 1.0}
+            )
+            with pytest.raises(RuntimeError, match="TypeError"):
+                worker.deploy(bad)
+            # The worker survives both command errors.
+            worker.begin_run(0, 1)
+            report = worker.finish_run()
+        assert report.intervals[0].energy_j > 0
+
+    @pytest.mark.fleet_mp
+    def test_worker_construction_error_surfaces(self):
+        # A bad config must raise the real error at construction (as the
+        # local backend does), not a dead pipe on the first command.
+        bad = shard_config(
+            initial_chains=(
+                ChainTicket(name="x", nfs=("nat",), flow="f", node=9),
+            )
+        )
+        with pytest.raises(RuntimeError, match="out of range"):
+            ShardWorker(bad)
+
+    def test_local_shard_interface(self):
+        shard = LocalShard(shard_config())
+        shard.begin_run(0, 2)
+        with pytest.raises(RuntimeError, match="not collected"):
+            shard.begin_run(2, 2)
+        report = shard.finish_run()
+        assert len(report.intervals) == 2
+        with pytest.raises(RuntimeError, match="no run"):
+            shard.finish_run()
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+class TestFleetCli:
+    def test_fleet_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "fleet.json"
+        assert main(["fleet", "fleet-small", "--quick", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "fleet 'fleet-small'" in captured
+        payload = json.loads(out.read_text())
+        assert payload["format_version"] == 1
+        assert payload["totals"]["intervals"] == 4  # quick: 2 cycles x 2
+
+    def test_fleet_subcommand_rejects_plain_spec(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["fleet", "baseline"]) == 2
+        assert "no fleet section" in capsys.readouterr().err
+
+    def test_list_shows_fleet_presets(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-small" in out
+        assert "datacenter" in out

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import StreamFactory, as_generator, hash_name, spawn
+from repro.utils.rng import (
+    StreamFactory,
+    as_generator,
+    hash_name,
+    private_stream,
+    spawn,
+)
 
 
 class TestAsGenerator:
@@ -22,6 +28,35 @@ class TestAsGenerator:
         a = as_generator(7).random(5)
         b = as_generator(7).random(5)
         assert np.array_equal(a, b)
+
+
+class TestPrivateStream:
+    def test_never_aliases_a_generator(self):
+        parent = np.random.default_rng(1)
+        a = private_stream(parent)
+        b = private_stream(parent)
+        assert a is not parent and b is not parent and a is not b
+        # Drawing from one component must not perturb the other.
+        before = b.bit_generator.state
+        a.random(100)
+        assert b.bit_generator.state == before
+
+    def test_successive_components_get_distinct_streams(self):
+        parent = np.random.default_rng(1)
+        a = private_stream(parent).random(50)
+        b = private_stream(parent).random(50)
+        assert not np.array_equal(a, b)
+
+    def test_deterministic_from_same_seed(self):
+        a = private_stream(np.random.default_rng(4)).random(10)
+        b = private_stream(np.random.default_rng(4)).random(10)
+        assert np.array_equal(a, b)
+
+    def test_int_and_none_behave_like_as_generator(self):
+        assert np.array_equal(
+            private_stream(6).random(5), as_generator(6).random(5)
+        )
+        assert isinstance(private_stream(None), np.random.Generator)
 
 
 class TestSpawn:
