@@ -7,6 +7,7 @@ Subcommands::
     python -m repro scan <spec.json | preset>  # vectorized knob-grid scan
     python -m repro fleet <spec.json | preset> # sharded multi-cluster fleet
     python -m repro fig <id> [--quick]         # a paper-figure harness
+    python -m repro lint [--strict] [--json]   # determinism static analysis
     python -m repro list                       # everything runnable
 
 Figure ids are the paper's figures (fig1..fig4, fig6..fig11) plus the
@@ -46,7 +47,7 @@ from repro.scenario import (
 )
 from repro.utils.tables import render_table
 
-_SUBCOMMANDS = ("run", "sweep", "scan", "fleet", "fig", "list")
+_SUBCOMMANDS = ("run", "sweep", "scan", "fleet", "fig", "lint", "list")
 
 
 def _load_spec(source: str) -> ScenarioSpec:
@@ -248,6 +249,14 @@ def _cmd_fig(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Deferred import: the analyzer is pure stdlib but there is no reason
+    # to parse source trees just to run a scenario.
+    from repro.analysis.cli import run_lint_cli
+
+    return run_lint_cli(args)
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("available experiments:")
     for name in sorted(EXPERIMENTS):
@@ -363,6 +372,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="also write the rendered report to this file"
     )
     p_fig.set_defaults(func=_cmd_fig)
+
+    p_lint = sub.add_parser(
+        "lint", help="AST-based determinism & kernel-discipline analysis"
+    )
+    from repro.analysis.cli import add_lint_arguments
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_list = sub.add_parser("list", help="list experiments, presets, registries")
     p_list.set_defaults(func=_cmd_list)

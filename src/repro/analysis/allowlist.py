@@ -1,0 +1,178 @@
+"""Finding suppression: the allowlist file and inline pragmas.
+
+Two mechanisms, both explicit and reviewable:
+
+* **Inline pragma** — a ``# repro-lint: allow[CODE]`` comment on the
+  flagged line (or the line directly above it) suppresses the named
+  code(s) at that site.  Use it where the justification belongs next to
+  the code, e.g. a deliberately sequential fold in a fused kernel::
+
+      # repro-lint: allow[KRN002] order-sensitive scalar fold (bit-compat)
+      for j, (start, stop) in enumerate(meta.slices):
+
+* **Allowlist file** — ``analysis_allow.toml`` at the project root
+  holds ``[[allow]]`` entries matching findings by code + path (glob)
+  and optionally by enclosing scope or exact line, each with a
+  ``reason``.  It may also carry policy sections extending the checker
+  site lists (see :meth:`repro.analysis.config.LintConfig.with_policy`).
+
+The file is a deliberately small TOML subset so the analyzer stays
+stdlib-only on every supported Python (``tomllib`` is 3.11+): comments,
+``[section]`` headers, ``[[allow]]`` array-of-tables headers, and
+single-line ``key = value`` pairs whose values are JSON-compatible
+scalars or string arrays (``"s"``, ``3``, ``true``, ``["a", "b"]``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.findings import CODES, Finding
+
+#: Inline suppression comment: ``# repro-lint: allow[RNG001]`` or
+#: ``# repro-lint: allow[KRN001,KRN002] free-text reason``.
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+_KEY_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_-]*)\s*=\s*(.+)$")
+
+
+@dataclass(frozen=True)
+class AllowEntry:
+    """One suppression: code + path (+ optional scope/line) + reason."""
+
+    code: str
+    path: str
+    scope: str = ""
+    line: int = 0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValueError("allow entry needs a finding code")
+        if not self.path:
+            raise ValueError(f"allow entry for {self.code} needs a path")
+        if not self.reason:
+            raise ValueError(
+                f"allow entry for {self.code} at {self.path!r} needs a reason — "
+                "an unexplained suppression is a convention leak waiting to happen"
+            )
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether this entry suppresses ``finding``."""
+        if self.code != finding.code:
+            return False
+        if not fnmatch(finding.path, self.path):
+            return False
+        if self.line and self.line != finding.line:
+            return False
+        if self.scope:
+            if finding.scope != self.scope and not finding.scope.startswith(
+                self.scope + "."
+            ):
+                return False
+        return True
+
+
+@dataclass
+class Allowlist:
+    """Parsed allowlist: suppression entries plus policy sections."""
+
+    entries: tuple[AllowEntry, ...] = ()
+    policy: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    source: str = "<none>"
+
+    def suppresses(self, finding: Finding) -> AllowEntry | None:
+        """The first entry matching ``finding``, or ``None``."""
+        for entry in self.entries:
+            if entry.matches(finding):
+                return entry
+        return None
+
+    def unknown_codes(self) -> list[str]:
+        """Entry codes that no checker declares (likely typos)."""
+        return sorted({e.code for e in self.entries} - set(CODES))
+
+
+def _parse_value(raw: str, lineno: int, source: str) -> Any:
+    """Parse a scalar/array value (the JSON-compatible TOML subset)."""
+    try:
+        return json.loads(raw)
+    except json.JSONDecodeError:
+        raise ValueError(
+            f"{source}:{lineno}: cannot parse value {raw!r} (the allowlist "
+            "accepts JSON-style strings, numbers, booleans and string arrays)"
+        ) from None
+
+
+def parse_allowlist(text: str, *, source: str = "<string>") -> Allowlist:
+    """Parse allowlist text into entries + policy sections."""
+    entries: list[AllowEntry] = []
+    policy: dict[str, dict[str, Any]] = {}
+    current: dict[str, Any] | None = None  # table the next keys land in
+    pending_entries: list[dict[str, Any]] = []
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped == "[[allow]]":
+            current = {}
+            pending_entries.append(current)
+            continue
+        if stripped.startswith("[[") and stripped.endswith("]]"):
+            raise ValueError(
+                f"{source}:{lineno}: unknown table array {stripped!r}; "
+                "only [[allow]] is supported"
+            )
+        if stripped.startswith("[") and stripped.endswith("]"):
+            name = stripped[1:-1].strip()
+            current = policy.setdefault(name, {})
+            continue
+        match = _KEY_RE.match(stripped)
+        if match is None:
+            raise ValueError(f"{source}:{lineno}: cannot parse line {stripped!r}")
+        if current is None:
+            raise ValueError(
+                f"{source}:{lineno}: key {match.group(1)!r} outside any "
+                "[[allow]] entry or [section]"
+            )
+        current[match.group(1)] = _parse_value(match.group(2).strip(), lineno, source)
+
+    for raw in pending_entries:
+        unknown = sorted(set(raw) - {"code", "path", "scope", "line", "reason"})
+        if unknown:
+            raise ValueError(
+                f"{source}: unknown [[allow]] keys {unknown!r}; "
+                "supported: code, path, scope, line, reason"
+            )
+        entries.append(AllowEntry(**raw))
+    return Allowlist(entries=tuple(entries), policy=policy, source=source)
+
+
+def load_allowlist(path: str | Path) -> Allowlist:
+    """Read and parse an allowlist file."""
+    path = Path(path)
+    return parse_allowlist(path.read_text(encoding="utf-8"), source=str(path))
+
+
+def pragma_codes(lines: list[str], line: int) -> set[str]:
+    """Codes suppressed at ``line`` (1-based) by an inline pragma.
+
+    A pragma counts when it sits on the flagged line itself or on the
+    line directly above (for statements too long to share a line with
+    their justification).
+    """
+    codes: set[str] = set()
+    for lineno in (line, line - 1):
+        if 1 <= lineno <= len(lines):
+            match = PRAGMA_RE.search(lines[lineno - 1])
+            if match:
+                codes.update(
+                    c.strip() for c in match.group(1).split(",") if c.strip()
+                )
+    return codes

@@ -1,0 +1,201 @@
+"""RNG discipline: every random draw derives from the experiment seed.
+
+The reproduction's determinism story (seeded runs bit-identical across
+backends and worker counts) requires that *all* randomness flows through
+:mod:`repro.utils.rng`'s derivation helpers or the counter-based
+:func:`repro.fleet.workload.interval_stream`.  Anything else is a leak:
+
+* ``RNG001`` — ``np.random.default_rng`` constructed outside the
+  sanctioned modules.  A stray generator is a parallel stream nothing
+  derives, so two same-seed runs diverge the moment draw order shifts.
+* ``RNG002`` — ``np.random.SeedSequence`` constructed outside the
+  sanctioned modules (same failure mode, one level lower).
+* ``RNG003`` — the stdlib :mod:`random` module.  Its global state is
+  process-wide and invisible to the stream factory; banned outright.
+* ``RNG004`` — legacy global-state numpy randomness
+  (``np.random.seed`` / ``np.random.rand`` / ``RandomState`` / ...).
+* ``RNG005`` — the builtin ``hash()``.  Python salts string hashes per
+  process (PYTHONHASHSEED), so a builtin hash feeding a seed, spawn key
+  or artifact id differs between the ``SweepRunner`` parent and its
+  workers; use :func:`repro.utils.rng.hash_name` (stable FNV-1a).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import FileChecker, FileContext, register
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import ERROR, Finding, declare
+
+RNG001 = declare(
+    "RNG001", ERROR, "np.random.default_rng constructed outside sanctioned modules"
+)
+RNG002 = declare(
+    "RNG002", ERROR, "np.random.SeedSequence constructed outside sanctioned modules"
+)
+RNG003 = declare("RNG003", ERROR, "stdlib random module used (global, unseeded state)")
+RNG004 = declare("RNG004", ERROR, "legacy global-state numpy randomness used")
+RNG005 = declare("RNG005", ERROR, "builtin hash() used (salted per process)")
+
+#: ``np.random`` attributes that are types/derivation machinery, not
+#: draws from hidden global state.  ``default_rng``/``SeedSequence`` are
+#: additionally gated to the sanctioned construction sites.
+_SAFE_NP_RANDOM = {
+    "Generator",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+}
+
+
+def _remediation() -> str:
+    return (
+        "derive streams via repro.utils.rng (as_generator/spawn/private_stream/"
+        "StreamFactory) or repro.fleet.workload.interval_stream"
+    )
+
+
+@register
+class RngChecker(FileChecker):
+    """RNG001-RNG005: seed-derived randomness only."""
+
+    name = "rng-discipline"
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        sanctioned = ctx.path in config.rng_construction_sites
+        findings: list[Finding] = []
+
+        # Names bound to the numpy module / numpy.random module.
+        np_aliases: set[str] = set()
+        np_random_aliases: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "numpy":
+                        np_aliases.add(alias.asname or "numpy")
+                    elif alias.name == "numpy.random":
+                        if alias.asname:
+                            np_random_aliases.add(alias.asname)
+                        else:
+                            np_aliases.add("numpy")
+                    elif alias.name == "random":
+                        findings.append(
+                            ctx.finding(
+                                RNG003,
+                                node,
+                                "stdlib 'random' draws from process-global state "
+                                f"outside the seed tree; {_remediation()}",
+                                checker=self.name,
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    findings.append(
+                        ctx.finding(
+                            RNG003,
+                            node,
+                            "stdlib 'random' draws from process-global state "
+                            f"outside the seed tree; {_remediation()}",
+                            checker=self.name,
+                        )
+                    )
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_aliases.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        findings.extend(
+                            self._classify_np_random(
+                                ctx, node, alias.name, sanctioned
+                            )
+                        )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                attr_findings = self._attribute(
+                    ctx, node, np_aliases, np_random_aliases, sanctioned
+                )
+                findings.extend(attr_findings)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "hash"
+                and not ctx.binds_name("hash")
+            ):
+                findings.append(
+                    ctx.finding(
+                        RNG005,
+                        node,
+                        "builtin hash() is salted per process (PYTHONHASHSEED); "
+                        "a hash feeding seeds, spawn keys or artifact ids differs "
+                        "across worker processes — use repro.utils.rng.hash_name "
+                        "(stable FNV-1a)",
+                        checker=self.name,
+                    )
+                )
+        return findings
+
+    def _attribute(
+        self,
+        ctx: FileContext,
+        node: ast.Attribute,
+        np_aliases: set[str],
+        np_random_aliases: set[str],
+        sanctioned: bool,
+    ) -> list[Finding]:
+        """Classify one ``<x>.random.<attr>`` / ``<npr>.<attr>`` access."""
+        value = node.value
+        is_np_random = (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in np_aliases
+        ) or (isinstance(value, ast.Name) and value.id in np_random_aliases)
+        if not is_np_random:
+            return []
+        return self._classify_np_random(ctx, node, node.attr, sanctioned)
+
+    def _classify_np_random(
+        self, ctx: FileContext, node: ast.AST, attr: str, sanctioned: bool
+    ) -> list[Finding]:
+        if attr in _SAFE_NP_RANDOM:
+            return []
+        if attr == "default_rng":
+            if sanctioned:
+                return []
+            return [
+                ctx.finding(
+                    RNG001,
+                    node,
+                    "np.random.default_rng constructed outside the sanctioned "
+                    f"RNG modules; {_remediation()}",
+                    checker=self.name,
+                )
+            ]
+        if attr == "SeedSequence":
+            if sanctioned:
+                return []
+            return [
+                ctx.finding(
+                    RNG002,
+                    node,
+                    "np.random.SeedSequence constructed outside the sanctioned "
+                    f"RNG modules; {_remediation()}",
+                    checker=self.name,
+                )
+            ]
+        return [
+            ctx.finding(
+                RNG004,
+                node,
+                f"np.random.{attr} touches numpy's legacy process-global RNG "
+                f"state, invisible to the experiment seed tree; {_remediation()}",
+                checker=self.name,
+            )
+        ]

@@ -1,0 +1,119 @@
+"""Wall-clock discipline: timestamps only at allowlisted timing sites.
+
+Simulated time in this repo is ``interval_s`` arithmetic; wall-clock
+reads exist only to report ``elapsed_s`` around a whole run.  A
+``time.time()`` / ``perf_counter()`` inside a kernel, controller or
+environment is a determinism leak waiting to happen — the moment its
+value feeds a decision, a reward, or a logged metric that later gates a
+comparison, same-seed runs stop agreeing.
+
+* ``TIME001`` — a wall-clock read (``time.time``/``perf_counter``/
+  ``monotonic``/``process_time``/``datetime.now``/...) outside the
+  configured timing sites (:attr:`LintConfig.wallclock_sites`).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import FileChecker, FileContext, register
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import ERROR, Finding, declare
+
+TIME001 = declare(
+    "TIME001", ERROR, "wall-clock read outside the allowlisted timing sites"
+)
+
+#: ``time`` module attributes that read the clock.
+_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+#: ``datetime``/``date`` class methods that read the clock.
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+def _message(what: str) -> str:
+    return (
+        f"{what} reads the wall clock; results must be pure functions of the "
+        "spec + seed, so clock reads live only in the allowlisted timing "
+        "sites (elapsed_s reporting) — never in kernels or controllers"
+    )
+
+
+@register
+class WallClockChecker(FileChecker):
+    """TIME001: no wall-clock reads outside sanctioned timing sites."""
+
+    name = "wallclock-discipline"
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        if ctx.path in config.wallclock_sites:
+            return []
+        findings: list[Finding] = []
+
+        time_aliases: set[str] = set()
+        datetime_classes: set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_classes.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_ATTRS:
+                            findings.append(
+                                ctx.finding(
+                                    TIME001,
+                                    node,
+                                    _message(f"time.{alias.name}"),
+                                    checker=self.name,
+                                )
+                            )
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_classes.add(alias.asname or alias.name)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                node.attr in _TIME_ATTRS
+                and isinstance(value, ast.Name)
+                and value.id in time_aliases
+            ):
+                findings.append(
+                    ctx.finding(
+                        TIME001,
+                        node,
+                        _message(f"{value.id}.{node.attr}"),
+                        checker=self.name,
+                    )
+                )
+            elif node.attr in _DATETIME_ATTRS:
+                # datetime.now / date.today, or datetime.datetime.now.
+                base = value
+                if isinstance(base, ast.Attribute):
+                    base = base.value
+                if isinstance(base, ast.Name) and base.id in datetime_classes:
+                    findings.append(
+                        ctx.finding(
+                            TIME001,
+                            node,
+                            _message(f"datetime ….{node.attr}"),
+                            checker=self.name,
+                        )
+                    )
+        return findings

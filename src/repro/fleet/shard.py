@@ -26,6 +26,7 @@ backends produce bit-identical telemetry for the same seed.
 from __future__ import annotations
 
 import multiprocessing as mp
+import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -407,6 +408,22 @@ class LocalShard:
         """No resources to release in-process."""
 
 
+def _error_payload(exc: BaseException, *, frames: int = 8) -> tuple[str, str, str]:
+    """An ``("error", summary, trimmed_traceback)`` reply tuple.
+
+    The worker-side traceback is what makes a shard failure debuggable
+    from the parent — ``KeyError: 'c3'`` alone says nothing about which
+    ``undeploy``/``set_knobs`` path raised it.  Only the last ``frames``
+    stack entries ship (the failure site, not the pipe plumbing), and as
+    a plain string: tracebacks themselves do not pickle.
+    """
+    summary = f"{type(exc).__name__}: {exc}"
+    trimmed = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__, limit=-frames)
+    ).rstrip()
+    return ("error", summary, trimmed)
+
+
 def shard_worker(config: ShardConfig, conn) -> None:
     """Worker-process main loop (one shard's NF/SDN agent).
 
@@ -420,7 +437,7 @@ def shard_worker(config: ShardConfig, conn) -> None:
         sim = ShardSim(config)
     except Exception as exc:
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(_error_payload(exc))
         except (BrokenPipeError, OSError):  # pragma: no cover
             pass
         return
@@ -446,7 +463,7 @@ def shard_worker(config: ShardConfig, conn) -> None:
                 else:
                     conn.send(("error", f"unknown message {kind!r}"))
             except Exception as exc:  # keep the worker alive; report back
-                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                conn.send(_error_payload(exc))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         return
 
@@ -486,7 +503,10 @@ class ShardWorker:
                 f"shard {self.name!r} worker died without replying"
             ) from None
         if msg[0] == "error":
-            raise RuntimeError(f"shard {self.name!r} worker: {msg[1]}")
+            detail = msg[1]
+            if len(msg) > 2 and msg[2]:
+                detail = f"{detail}\n--- worker traceback ---\n{msg[2]}"
+            raise RuntimeError(f"shard {self.name!r} worker: {detail}")
         if msg[0] != expect:  # pragma: no cover - protocol bug
             raise RuntimeError(f"shard {self.name!r}: expected {expect!r}, got {msg[0]!r}")
         return msg[1] if len(msg) > 1 else None

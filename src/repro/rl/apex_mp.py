@@ -44,7 +44,7 @@ def actor_worker(
     conn,
 ) -> None:
     """Worker-process main loop (one NF_CONTROLLER)."""
-    rng = np.random.default_rng(seed)
+    rng = as_generator(seed)
     env = env_factory(actor_id, rng)
     agent = DDPGAgent(env.state_dim, env.action_dim, ddpg_config, rng=seed)
     obs = env.reset()

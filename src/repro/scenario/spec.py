@@ -31,6 +31,8 @@ from dataclasses import asdict, dataclass, field, fields, replace
 from itertools import product
 from typing import Any, Mapping, Sequence
 
+from repro.utils.rng import hash_name
+
 
 @dataclass(frozen=True)
 class ScenarioSpec:
@@ -110,8 +112,11 @@ class ScenarioSpec:
     def __hash__(self) -> int:
         # The dataclass-generated hash would choke on the dict-typed
         # params fields; hash the canonical JSON form instead so specs
-        # work as set members / dict keys (dedup, caching).
-        return hash(self.to_json())
+        # work as set members / dict keys (dedup, caching).  hash_name
+        # (FNV-1a) rather than builtin hash(): string hashes are salted
+        # per process (PYTHONHASHSEED), and a spec's hash must agree
+        # between the SweepRunner parent and its worker processes.
+        return hash_name(self.to_json()) & 0x7FFFFFFFFFFFFFFF
 
     # -- validation --------------------------------------------------------------
 

@@ -45,7 +45,10 @@ def spawn(rng: RngLike, n: int) -> list[np.random.Generator]:
         raise ValueError(f"cannot spawn a negative number of streams: {n}")
     if isinstance(rng, np.random.Generator):
         seq = rng.bit_generator.seed_seq
-        if not isinstance(seq, np.random.SeedSequence):  # pragma: no cover
+        if not isinstance(seq, np.random.SeedSequence):
+            # Generators built around a bare bit generator (e.g. wrapping
+            # a legacy RandomState's) expose no seed sequence; draw one
+            # deterministic variate to seed a fresh sequence instead.
             seq = np.random.SeedSequence(int(rng.integers(2**63)))
     else:
         seq = np.random.SeedSequence(rng)

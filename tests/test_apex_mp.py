@@ -31,6 +31,23 @@ def parallel_env_factory(actor_id, rng):
     return NFVEnv(EnergyEfficiencySLA(), episode_len=8, rng=rng)
 
 
+def test_actor_worker_seed_stream_unchanged():
+    """Regression: ``actor_worker`` now derives its stream through
+    ``as_generator`` (RNG discipline), which must stay bit-identical to
+    the ``np.random.default_rng(seed)`` it replaced — actor trajectories
+    from existing seeds may not shift."""
+    from repro.utils.rng import as_generator
+
+    seed = 7
+    assert np.array_equal(
+        as_generator(seed).random(256), np.random.default_rng(seed).random(256)
+    )
+    assert (
+        as_generator(seed).bit_generator.state
+        == np.random.default_rng(seed).bit_generator.state
+    )
+
+
 @pytest.mark.apex_mp
 def test_one_parallel_cycle_smoke():
     """One multi-process cycle end-to-end: the CI gate on ``apex_mp``.

@@ -447,6 +447,22 @@ class TestProcessBackend:
         assert report.intervals[0].energy_j > 0
 
     @pytest.mark.fleet_mp
+    def test_worker_error_includes_traceback(self):
+        # The error reply carries the worker-side traceback (trimmed to
+        # the failure site) so a shard failure is debuggable from the
+        # parent, not just a bare "KeyError: 'ghost'".
+        with ShardWorker(shard_config()) as worker:
+            with pytest.raises(RuntimeError) as excinfo:
+                worker.undeploy("ghost")
+            msg = str(excinfo.value)
+            assert "--- worker traceback ---" in msg
+            assert "undeploy" in msg  # the worker frame that raised
+            assert "KeyError" in msg
+            # The worker survives and keeps serving commands.
+            worker.begin_run(0, 1)
+            assert worker.finish_run().intervals[0].energy_j > 0
+
+    @pytest.mark.fleet_mp
     def test_worker_construction_error_surfaces(self):
         # A bad config must raise the real error at construction (as the
         # local backend does), not a dead pipe on the first command.

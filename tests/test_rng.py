@@ -79,6 +79,41 @@ class TestSpawn:
         kids = spawn(g, 3)
         assert len(kids) == 3
 
+    def test_spawn_from_generator_without_seed_sequence(self):
+        # A Generator wrapped around a bare bit generator (here: a legacy
+        # RandomState's) exposes seed_seq=None; spawn must fall back to
+        # deriving a fresh SeedSequence from one deterministic draw.
+        def make():
+            return np.random.Generator(np.random.RandomState(5)._bit_generator)
+
+        assert make().bit_generator.seed_seq is None
+        kids = spawn(make(), 3)
+        assert len(kids) == 3
+        assert not np.array_equal(kids[0].random(50), kids[1].random(50))
+        # Deterministic: same construction, same children.
+        fresh_a = [g.random(10) for g in spawn(make(), 3)]
+        fresh_b = [g.random(10) for g in spawn(make(), 3)]
+        for a, b in zip(fresh_a, fresh_b):
+            assert np.array_equal(a, b)
+
+    def test_private_stream_independent_under_interleaved_draws(self):
+        # Two components handed the same parent generator must keep
+        # independent streams no matter how their draws interleave.
+        parent = np.random.default_rng(11)
+        a = private_stream(parent)
+        b = private_stream(parent)
+        interleaved_a, interleaved_b = [], []
+        for _ in range(5):
+            interleaved_a.append(a.random(7))
+            interleaved_b.append(b.random(7))
+        parent2 = np.random.default_rng(11)
+        a2 = private_stream(parent2)
+        b2 = private_stream(parent2)
+        solo_a = [a2.random(7) for _ in range(5)]
+        solo_b = [b2.random(7) for _ in range(5)]
+        assert np.array_equal(np.concatenate(interleaved_a), np.concatenate(solo_a))
+        assert np.array_equal(np.concatenate(interleaved_b), np.concatenate(solo_b))
+
 
 class TestStreamFactory:
     def test_same_name_same_stream_object(self):

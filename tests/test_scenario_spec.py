@@ -1,6 +1,10 @@
 """ScenarioSpec serialization, validation, and grid expansion."""
 
 import json
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -59,6 +63,33 @@ class TestSerialization:
         c = a.with_updates(seed=9)
         assert hash(a) == hash(b)
         assert {a, b, c} == {a, c}
+
+    def test_hash_stable_across_hash_seeds(self):
+        # Spec hashes feed dedup/caching across the SweepRunner parent
+        # and its worker processes, so they must not depend on Python's
+        # per-process string-hash salt (PYTHONHASHSEED) — the bug the
+        # old ``hash(self.to_json())`` implementation had.
+        spec = ScenarioSpec(name="h", sla_params={"scales": {"energy_j": 81.5}})
+        root = Path(__file__).resolve().parents[1]
+        code = (
+            "from repro.scenario import ScenarioSpec;"
+            f"print(hash(ScenarioSpec.from_json({spec.to_json()!r})))"
+        )
+        hashes = set()
+        for hash_seed in ("0", "1", "random"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(root / "src"), env.get("PYTHONPATH", "")]
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            hashes.add(int(proc.stdout.strip()))
+        assert hashes == {hash(spec)}
 
     def test_with_updates(self):
         spec = ScenarioSpec(name="base", seed=1)
