@@ -20,6 +20,10 @@ PRs:
   process-backed ``ShardWorker``s vs. the single-process ``LocalShard``
   loop (the sharded scale-out payoff; both backends are bit-identical,
   so the ratio is pure parallelism; criterion: >= 2x at 4 shards);
+* ``fleet_throughput`` — the same fleet through the pipelined
+  shared-memory transport (``pipeline_depth=1`` + telemetry arenas) vs.
+  the seed lockstep transport that pickles every ``ShardReport``
+  through the pipe (kept in ``reference.py``; criterion: >= 1.5x);
 * ``replay_add_sample`` — prioritized add/sample/update against the
   seed's list + per-leaf-walk implementation (kept in ``reference.py``);
 * ``training_slice`` — a short end-to-end DDPG run vs. the same run with
@@ -81,6 +85,7 @@ CRITERIA = {
     "multi_chain_grid": 5.0,
     "cluster_grid": 3.0,
     "fleet_scale": 2.0,
+    "fleet_throughput": 1.5,
     "training_slice": 2.0,
 }
 
@@ -364,6 +369,76 @@ def bench_fleet_scale(quick: bool, rounds: int) -> dict:
     return result
 
 
+def bench_fleet_throughput(quick: bool, rounds: int) -> dict:
+    """The datacenter fleet: pipelined shared-memory transport vs. the
+    seed lockstep pickled transport (criterion: >= 1.5x).
+
+    Both sides run the process backend, so the ratio isolates what this
+    PR changed: double-buffered decide/step overlap plus zero-copy
+    telemetry arenas, against lockstep cycles whose every ``run`` reply
+    pickles a full ``ShardReport`` through the pipe.  Workers are
+    started once and kept warm; rounds are interleaved.
+    """
+    import repro.fleet.coordinator as coordinator_mod
+    from repro.fleet import FLEETS, FleetCoordinator, FleetSpec
+
+    fleet = FleetSpec.from_mapping(FLEETS.get("datacenter")())
+    cycles = 1 if quick else 2
+    seed = 5
+    pipe = FleetCoordinator(
+        fleet.with_updates(pipeline_depth=1), seed=seed, backend="process"
+    )
+    saved = coordinator_mod.ShardWorker
+    coordinator_mod.ShardWorker = reference.ReferenceShardWorker
+    try:
+        lock = FleetCoordinator(
+            fleet.with_updates(pipeline_depth=0), seed=seed, backend="process"
+        )
+    finally:
+        coordinator_mod.ShardWorker = saved
+    try:
+        # Warm both fleets: kernels compile, workers come up.
+        pipe.run_cycles(1)
+        lock.run_cycles(1)
+        pipe_s = lock_s = float("inf")
+        for _ in range(max(3, rounds)):
+            t0 = time.perf_counter()
+            pipe.run_cycles(cycles)
+            pipe_s = min(pipe_s, time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            lock.run_cycles(cycles)
+            lock_s = min(lock_s, time.perf_counter() - t0)
+    finally:
+        pipe.close()
+        lock.close()
+    n_chains = fleet.topology.total_chains
+    intervals = cycles * fleet.sync_every
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    result = {
+        "seconds": pipe_s,
+        "shards": fleet.topology.n_shards,
+        "nodes": fleet.topology.total_nodes,
+        "chains": n_chains,
+        "intervals": intervals,
+        "cpus": cpus,
+        "reference_seconds": lock_s,
+        "speedup": lock_s / pipe_s,
+        "chain_intervals_per_second": n_chains * intervals / pipe_s,
+    }
+    if cpus < 2:
+        # With one CPU the decide phase cannot overlap the shard steps,
+        # so pipelining buys nothing and only the (small) transport win
+        # remains.  Record the run but waive the criterion — CI's
+        # multi-core runners enforce it.
+        result["criterion_waived"] = (
+            f"pipelining overlap needs >= 2 CPUs (have {cpus})"
+        )
+    return result
+
+
 def _replay_workload(buf, n_add: int, n_rounds: int, rng: np.random.Generator):
     chunk = 64
     for start in range(0, n_add, chunk):
@@ -471,6 +546,7 @@ BENCHES = {
     "multi_chain_grid": bench_multi_chain_grid,
     "cluster_grid": bench_cluster_grid,
     "fleet_scale": bench_fleet_scale,
+    "fleet_throughput": bench_fleet_throughput,
     "replay_add_sample": bench_replay,
     "training_slice": bench_training_slice,
 }

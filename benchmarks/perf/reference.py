@@ -483,3 +483,138 @@ class RebuildingEnv(NFVEnv):
     def reset(self, **kwargs):
         self.controller = None
         return super().reset(**kwargs)
+
+
+# -- fleet: pickled shard transport --------------------------------------------
+
+
+def reference_shard_worker(config, conn) -> None:
+    """The pre-arena shard worker loop: each ``run`` reply pickles the
+    complete :class:`~repro.fleet.shard.ShardReport` through the pipe
+    (the seed transport the shared-memory arenas replaced)."""
+    from repro.fleet.shard import ShardSim, _error_payload
+
+    try:
+        sim = ShardSim(config)
+    except Exception as exc:
+        try:
+            conn.send(_error_payload(exc))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    conn.send(("ready", config.name))
+    try:
+        while True:
+            msg = conn.recv()
+            kind = msg[0]
+            if kind == "stop":
+                conn.send(("stopped", config.name))
+                return
+            try:
+                if kind == "run":
+                    conn.send(("report", sim.run(msg[1], msg[2])))
+                elif kind == "deploy":
+                    sim.deploy(msg[1])
+                    conn.send(("ok",))
+                elif kind == "undeploy":
+                    conn.send(("ticket", sim.undeploy(msg[1])))
+                elif kind == "knobs":
+                    sim.set_knobs(msg[1])
+                    conn.send(("ok",))
+                else:
+                    conn.send(("error", f"unknown message {kind!r}"))
+            except Exception as exc:
+                conn.send(_error_payload(exc))
+    except (EOFError, KeyboardInterrupt):
+        return
+
+
+class ReferenceShardWorker:
+    """The seed process-backed shard handle: pickled reports, no arena.
+
+    Drop-in for :class:`~repro.fleet.shard.ShardWorker` (monkeypatched
+    into the coordinator by the ``fleet_throughput`` bench) so the
+    measured ratio isolates the transport: zero-copy shared-memory
+    telemetry vs. pickling every report through the pipe.
+    """
+
+    backend = "process"
+
+    def __init__(self, config, *, mp_context=None):
+        import multiprocessing as mp
+
+        ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        self.name = config.name
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self._proc = ctx.Process(
+            target=reference_shard_worker, args=(config, child_conn), daemon=True
+        )
+        self._proc.start()
+        self._in_flight = False
+        self._closed = False
+        try:
+            self._recv("ready")
+        except BaseException:
+            self.close()
+            raise
+
+    def _recv(self, expect: str):
+        try:
+            msg = self._conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"shard {self.name!r} worker died without replying"
+            ) from None
+        if msg[0] == "error":
+            detail = msg[1]
+            if len(msg) > 2 and msg[2]:
+                detail = f"{detail}\n--- worker traceback ---\n{msg[2]}"
+            raise RuntimeError(f"shard {self.name!r} worker: {detail}")
+        if msg[0] != expect:
+            raise RuntimeError(
+                f"shard {self.name!r}: expected {expect!r}, got {msg[0]!r}"
+            )
+        return msg[1] if len(msg) > 1 else None
+
+    def begin_run(self, start: int, n: int) -> None:
+        if self._in_flight:
+            raise RuntimeError("previous run not collected")
+        self._conn.send(("run", start, n))
+        self._in_flight = True
+
+    def finish_run(self):
+        if not self._in_flight:
+            raise RuntimeError("no run in flight")
+        self._in_flight = False
+        return self._recv("report")
+
+    def deploy(self, ticket) -> None:
+        self._conn.send(("deploy", ticket))
+        self._recv("ok")
+
+    def undeploy(self, name: str):
+        self._conn.send(("undeploy", name))
+        return self._recv("ticket")
+
+    def set_knobs(self, updates) -> None:
+        self._conn.send(("knobs", dict(updates)))
+        self._recv("ok")
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        else:
+            try:
+                if self._conn.poll(2.0):
+                    self._conn.recv()
+            except (EOFError, OSError):
+                pass
+        self._proc.join(timeout=5.0)
+        if self._proc.is_alive():
+            self._proc.terminate()

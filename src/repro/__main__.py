@@ -196,7 +196,11 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.quick:
         spec = quick_spec(spec)
     result = run_fleet(
-        spec, backend=args.backend, cycles=args.cycles, out_path=args.out
+        spec,
+        backend=args.backend,
+        cycles=args.cycles,
+        pipeline_depth=args.pipeline_depth,
+        out_path=args.out,
     )
     t = result.totals
     fleet = result.fleet
@@ -355,6 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_fleet.add_argument(
         "--cycles", type=int, default=None, help="override the coordinator cycles"
+    )
+    p_fleet.add_argument(
+        "--pipeline-depth", type=int, default=None, choices=(0, 1),
+        help="override the decide/step overlap (0 = lockstep, 1 = "
+             "double-buffered: decisions land one cycle later)",
     )
     p_fleet.add_argument("--seed", type=int, default=None, help="override the seed")
     p_fleet.add_argument("--quick", action="store_true", help="reduced budgets")

@@ -23,6 +23,7 @@ Entry points::
     python -m repro fleet fleet-small --backend process --out fleet.json
 """
 
+from repro.fleet.arena import ArenaLayout, TelemetryArena
 from repro.fleet.coordinator import FleetCoordinator, FleetResult, run_fleet
 from repro.fleet.shard import (
     ChainTicket,
@@ -30,6 +31,7 @@ from repro.fleet.shard import (
     ShardConfig,
     ShardSim,
     ShardWorker,
+    arena_layout_for,
 )
 from repro.fleet.spec import FLEETS, FleetSpec, MigrationConfig, SteeringConfig
 from repro.fleet.topology import FleetTopology, InterShardLink, ShardSpec
@@ -42,6 +44,7 @@ from repro.fleet.workload import (
 
 __all__ = [
     "FLEETS",
+    "ArenaLayout",
     "ChainTicket",
     "ChurnConfig",
     "FlashCrowdConfig",
@@ -57,7 +60,9 @@ __all__ = [
     "ShardSpec",
     "ShardWorker",
     "SteeringConfig",
+    "TelemetryArena",
     "WorkloadConfig",
+    "arena_layout_for",
     "interval_stream",
     "run_fleet",
 ]

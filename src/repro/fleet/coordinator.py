@@ -18,9 +18,17 @@ decisions the single-cluster controllers cannot:
 
 Every decision is a deterministic function of the gathered reports and
 the counter-based churn stream, so a seeded run is bit-identical across
-backends and worker counts.  :func:`run_fleet` is the facade the CLI and
-tests share; its :class:`FleetResult` artifact records the per-interval
-fleet energy/SLA series, the migration log and the churn history.
+backends and worker counts.  With ``pipeline_depth=1`` (the default) the
+decide phase is pipelined: while the coordinator plans cycle *t* from
+its gathered telemetry, the shards are already stepping cycle *t+1*'s
+intervals — safe because workload draws are counter-based and
+placement-independent — and the planned migration/knob commands are
+applied at the next interval boundary (bounded staleness: every decision
+lands exactly one cycle later than in lockstep mode, on both backends
+alike, so the differential guarantee is preserved depth-for-depth).
+:func:`run_fleet` is the facade the CLI and tests share; its
+:class:`FleetResult` artifact records the per-interval fleet energy/SLA
+series, the migration log and the churn history.
 """
 
 from __future__ import annotations
@@ -134,6 +142,26 @@ class _Move:
     reason: str
 
 
+@dataclass(frozen=True)
+class _CyclePlan:
+    """One cycle's decisions, computed without touching any handle.
+
+    Planning is pure — no pipe traffic, no coordinator-state mutation —
+    so on the pipelined path it can overlap the shards stepping the next
+    cycle; :meth:`FleetCoordinator._apply_cycle` scatters it at the
+    following interval boundary.  ``cycle``/``interval`` identify the
+    reported cycle the plan was computed from (what the logs record),
+    regardless of when it is applied.
+    """
+
+    cycle: int
+    interval: int
+    departures: tuple[tuple[str, str], ...]  # (chain, shard)
+    moves: tuple[_Move, ...]
+    arrivals: tuple[tuple[str, ChainTicket], ...]  # (shard, ticket)
+    knob_updates: tuple[tuple[str, dict[str, dict[str, Any]]], ...]
+
+
 class FleetCoordinator:
     """Drives a fleet of shard workers through the global control loop."""
 
@@ -208,6 +236,11 @@ class FleetCoordinator:
                     workload=fleet.workload.to_dict(),
                     parked_power_w=fleet.migration.parked_power_w,
                     initial_chains=tuple(tickets[shard.name]),
+                    # Telemetry-arena capacity: one run reply holds
+                    # sync_every interval rows; admission never exceeds
+                    # the per-node capacity bound.
+                    arena_intervals=fleet.sync_every,
+                    arena_chains=shard.nodes * fleet.migration.capacity_per_node,
                 )
                 self.handles[shard.name] = make(config, **kwargs)
         except BaseException:
@@ -242,26 +275,75 @@ class FleetCoordinator:
         return len(self._placement)
 
     def run_cycles(self, n_cycles: int) -> None:
-        """Run ``n_cycles`` gather/decide/scatter cycles."""
+        """Run ``n_cycles`` gather/decide/scatter cycles.
+
+        With ``pipeline_depth=1`` the decide phase of cycle *t* overlaps
+        the shards stepping cycle *t+1* (its commands are applied at the
+        next interval boundary — bounded staleness).  The pipeline fully
+        drains before this method returns, so the final gathered cycle
+        of each call is decided and applied immediately; results depend
+        on how a run is chunked into ``run_cycles`` calls, but are
+        bit-identical across backends for the same chunking.
+        """
         if self._closed:
             raise RuntimeError("coordinator is closed")
         if n_cycles < 1:
             raise ValueError("n_cycles must be >= 1")
+        if self.fleet.pipeline_depth == 0:
+            for _ in range(n_cycles):
+                self._one_cycle()
+            return
+        # Depth 1: double-buffered.  Each iteration kicks off the next
+        # run before deciding the previous cycle, so planning (and, on
+        # the process backend, the coordinator's entire decide phase)
+        # overlaps the shards' stepping.  Scatter commands only ever go
+        # out between finish_run and the next begin_run — never while a
+        # run is in flight — keeping the pipe protocol strictly
+        # request/reply ordered.
+        handles = list(self.handles.values())
+        n = self.fleet.sync_every
+        pending: tuple[list[ShardReport], int, int] | None = None
+        cycle = self._cycle
         for _ in range(n_cycles):
-            self._one_cycle()
+            for handle in handles:
+                handle.begin_run(self._interval, n)
+            plan = self._plan_cycle(*pending) if pending is not None else None
+            reports = [handle.finish_run() for handle in handles]
+            self._merge_records(reports)
+            self._interval += n
+            if plan is not None:
+                self._apply_cycle(plan)
+            pending = (reports, cycle, self._interval)
+            cycle += 1
+        self._apply_cycle(self._plan_cycle(*pending))
 
     def _one_cycle(self) -> None:
-        fleet = self.fleet
-        start, n = self._interval, fleet.sync_every
-        # Scatter the run command to every shard, then gather; on the
-        # process backend the shards step concurrently between the two.
+        """One lockstep cycle (``pipeline_depth=0``): gather, then decide
+        and scatter before the shards step again."""
         handles = list(self.handles.values())
+        n = self.fleet.sync_every
         for handle in handles:
-            handle.begin_run(start, n)
+            handle.begin_run(self._interval, n)
         reports = [handle.finish_run() for handle in handles]
         self._merge_records(reports)
         self._interval += n
+        self._apply_cycle(
+            self._plan_cycle(reports, self._cycle, self._interval)
+        )
 
+    def _plan_cycle(
+        self, reports: list[ShardReport], cycle: int, interval: int
+    ) -> _CyclePlan:
+        """Decide one cycle from its gathered reports (pure).
+
+        Replays the exact lockstep decision order — churn departures
+        free capacity, the consolidation pass plans against the
+        post-departure occupancy, arrivals land on the post-migration
+        layout, steering routes via the post-migration placement — but
+        against local copies of the placement/occupancy state, so no
+        coordinator state mutates and no pipe traffic happens until
+        :meth:`_apply_cycle`.
+        """
         summaries: dict[str, ChainSummary] = {}
         node_info: dict[tuple[str, int], NodeSummary] = {}
         for report in reports:
@@ -272,23 +354,109 @@ class FleetCoordinator:
 
         # One churn draw per cycle: departures free capacity before the
         # consolidation pass, arrivals land on the post-migration layout.
-        n_arrivals, departures = self.fleet.workload.churn_events(
-            self.seed, self._cycle, sorted(self._dynamic), len(self._placement)
+        n_arrivals, departure_names = self.fleet.workload.churn_events(
+            self.seed, cycle, sorted(self._dynamic), len(self._placement)
         )
-        departed = self._apply_churn_departures(departures)
-        moves = self._plan_migrations(summaries, node_info, departed)
-        self._apply_migrations(moves)
-        arrivals = self._apply_churn_arrivals(n_arrivals)
-        knob_updates = self._steer_knobs(summaries, departed)
+        departed = set(departure_names)
+        departures = tuple(
+            (name, self._placement[name][0]) for name in departure_names
+        )
+        placement = {
+            name: key
+            for name, key in self._placement.items()
+            if name not in departed
+        }
+        counts = [0] * len(self._global_nodes)
+        for key in placement.values():
+            counts[self._global_index[key]] += 1
+        moves = tuple(
+            self._plan_migrations(summaries, node_info, departed, placement, counts)
+        )
+        for move in moves:
+            placement[move.chain] = move.dst
+        arrivals: list[tuple[str, ChainTicket]] = []
+        if n_arrivals:
+            capacity = self.fleet.migration.capacity_per_node
+            group = max(1, self.fleet.workload.flow_group_size)
+            k = self._arrivals_admitted
+            for _ in range(n_arrivals):
+                open_nodes = [
+                    g for g in range(len(counts)) if counts[g] < capacity
+                ]
+                if not open_nodes:
+                    break
+                target = min(open_nodes, key=lambda g: (counts[g], g))
+                shard, node = self._global_nodes[target]
+                ticket = ChainTicket(
+                    name=f"dyn-{cycle}-{k}",
+                    nfs=kind_nfs(CHAIN_KINDS[k % len(CHAIN_KINDS)]),
+                    flow=f"fg-dyn-{k // group}",
+                    node=node,
+                )
+                arrivals.append((shard, ticket))
+                counts[target] += 1
+                k += 1
+        knob_updates = self._plan_knobs(summaries, departed, placement)
+        return _CyclePlan(
+            cycle=cycle,
+            interval=interval,
+            departures=departures,
+            moves=moves,
+            arrivals=tuple(arrivals),
+            knob_updates=knob_updates,
+        )
+
+    def _apply_cycle(self, plan: _CyclePlan) -> None:
+        """Scatter one plan's decisions and write the logs.
+
+        On the pipelined path this runs one cycle after the plan's
+        reports were gathered; every log row carries the plan's own
+        cycle/interval stamps, so the artifact shape is depth-invariant.
+        """
+        for name, shard in plan.departures:
+            self._placement.pop(name)
+            self.handles[shard].undeploy(name)
+            self._dynamic.discard(name)
+            self._meta.pop(name, None)
+            self._churn_log.append(
+                {
+                    "cycle": plan.cycle,
+                    "interval": plan.interval,
+                    "event": "departure",
+                    "chain": name,
+                    "shard": shard,
+                }
+            )
+        self._apply_migrations(plan.moves, plan.cycle, plan.interval)
+        for shard, ticket in plan.arrivals:
+            self.handles[shard].deploy(ticket)
+            self._placement[ticket.name] = (shard, ticket.node)
+            self._meta[ticket.name] = ticket
+            self._dynamic.add(ticket.name)
+            self._arrivals_admitted += 1
+            self._churn_log.append(
+                {
+                    "cycle": plan.cycle,
+                    "interval": plan.interval,
+                    "event": "arrival",
+                    "chain": ticket.name,
+                    "shard": shard,
+                    "node": ticket.node,
+                }
+            )
+        for shard, updates in plan.knob_updates:
+            self.handles[shard].set_knobs(updates)
         self._cycle_log.append(
             {
-                "cycle": self._cycle,
-                "interval": self._interval,
-                "migrations": len(moves),
-                "migration_energy_j": sum(m.cost_j for m in moves),
-                "arrivals": arrivals,
-                "departures": len(departed),
-                "knob_updates": knob_updates,
+                "cycle": plan.cycle,
+                "interval": plan.interval,
+                "migrations": len(plan.moves),
+                "migration_energy_j": sum(m.cost_j for m in plan.moves),
+                "arrivals": len(plan.arrivals),
+                "departures": len(plan.departures),
+                "knob_updates": sum(
+                    len(updates) for _, updates in plan.knob_updates
+                ),
                 "chains": len(self._placement),
             }
         )
@@ -317,73 +485,6 @@ class FleetCoordinator:
                 rec["chains"] += row.chains
         self._records.extend(by_index[i] for i in sorted(by_index))
 
-    # -- churn -------------------------------------------------------------
-
-    def _apply_churn_departures(self, departures: list[str]) -> set[str]:
-        for name in departures:
-            shard, _node = self._placement.pop(name)
-            self.handles[shard].undeploy(name)
-            self._dynamic.discard(name)
-            self._meta.pop(name, None)
-            self._churn_log.append(
-                {
-                    "cycle": self._cycle,
-                    "interval": self._interval,
-                    "event": "departure",
-                    "chain": name,
-                    "shard": shard,
-                }
-            )
-        return set(departures)
-
-    def _node_counts(self) -> list[int]:
-        counts = [0] * len(self._global_nodes)
-        for key in self._placement.values():
-            counts[self._global_index[key]] += 1
-        return counts
-
-    def _apply_churn_arrivals(self, arrivals: int) -> int:
-        if not arrivals:
-            return 0
-        capacity = self.fleet.migration.capacity_per_node
-        group = max(1, self.fleet.workload.flow_group_size)
-        counts = self._node_counts()
-        admitted = 0
-        for _ in range(arrivals):
-            open_nodes = [
-                g for g in range(len(counts)) if counts[g] < capacity
-            ]
-            if not open_nodes:
-                break
-            target = min(open_nodes, key=lambda g: (counts[g], g))
-            k = self._arrivals_admitted
-            name = f"dyn-{self._cycle}-{k}"
-            shard, node = self._global_nodes[target]
-            ticket = ChainTicket(
-                name=name,
-                nfs=kind_nfs(CHAIN_KINDS[k % len(CHAIN_KINDS)]),
-                flow=f"fg-dyn-{k // group}",
-                node=node,
-            )
-            self.handles[shard].deploy(ticket)
-            self._placement[name] = (shard, node)
-            self._meta[name] = ticket
-            self._dynamic.add(name)
-            self._arrivals_admitted += 1
-            counts[target] += 1
-            admitted += 1
-            self._churn_log.append(
-                {
-                    "cycle": self._cycle,
-                    "interval": self._interval,
-                    "event": "arrival",
-                    "chain": name,
-                    "shard": shard,
-                    "node": node,
-                }
-            )
-        return admitted
-
     # -- migration ---------------------------------------------------------
 
     def _plan_migrations(
@@ -391,6 +492,8 @@ class FleetCoordinator:
         summaries: dict[str, ChainSummary],
         node_info: dict[tuple[str, int], NodeSummary],
         departed: set[str],
+        placement: Mapping[str, tuple[str, int]],
+        counts: list[int],
     ) -> list[_Move]:
         """Greedy consolidation: plan target, keep net-positive moves.
 
@@ -398,12 +501,21 @@ class FleetCoordinator:
         placement; each differing chain becomes a candidate move scored
         by the :class:`~repro.fleet.spec.MigrationConfig` model, and the
         best ``budget_per_cycle`` net-positive moves that keep SLA
-        headroom at the target are applied.
+        headroom at the target are applied.  ``placement`` and ``counts``
+        are the *authoritative* post-departure chain locations and
+        per-node occupancy — on the pipelined path the gathered
+        ``summaries`` are one cycle stale (a chain migrated by the
+        previous plan still reports its old node), so move sources come
+        from ``placement``; the telemetry only feeds the scoring.
+        ``counts`` is mutated in place as moves are accepted, so the
+        caller's arrival pass sees the post-migration occupancy.
         """
         mig = self.fleet.migration
         if mig.budget_per_cycle <= 0 or len(self._global_nodes) < 2:
             return []
-        names = sorted(n for n in summaries if n not in departed)
+        names = sorted(
+            n for n in summaries if n not in departed and n in placement
+        )
         if not names:
             return []
         # Departed chains must not influence any score (e.g. a phantom
@@ -422,18 +534,17 @@ class FleetCoordinator:
             # More chains than the capacity model admits (transient churn
             # overshoot): skip consolidation this cycle.
             return []
-        counts = self._node_counts()
         # Chains of each flow group per desired global node (co-location
         # bonus lookup).
         candidates: list[tuple[float, str, int, float, float, str]] = []
         for name in names:
             chain = summaries[name]
-            cur = self._global_index[(chain.shard, chain.node)]
+            cur = self._global_index[placement[name]]
             dst = desired[name]
             if dst == cur:
                 continue
             gain, cost, reason = self._score_move(
-                chain, cur, dst, counts, summaries, node_info
+                chain, placement[name], cur, dst, counts, summaries, node_info
             )
             net = gain - cost
             if net <= 0:
@@ -449,7 +560,7 @@ class FleetCoordinator:
             if len(moves) >= mig.budget_per_cycle:
                 break
             chain = summaries[name]
-            cur = self._global_index[(chain.shard, chain.node)]
+            cur = self._global_index[placement[name]]
             if counts[dst] >= mig.capacity_per_node:
                 continue
             # SLA headroom: the target's binding stage plus the incoming
@@ -459,7 +570,7 @@ class FleetCoordinator:
             moves.append(
                 _Move(
                     chain=name,
-                    src=(chain.shard, chain.node),
+                    src=placement[name],
                     dst=self._global_nodes[dst],
                     gain_j=gain,
                     cost_j=cost,
@@ -474,15 +585,19 @@ class FleetCoordinator:
     def _score_move(
         self,
         chain: ChainSummary,
+        src_key: tuple[str, int],
         cur: int,
         dst: int,
         counts: list[int],
         summaries: dict[str, ChainSummary],
         node_info: dict[tuple[str, int], NodeSummary],
     ) -> tuple[float, float, str]:
-        """(gain_j, cost_j, reason) of one candidate move."""
+        """(gain_j, cost_j, reason) of one candidate move.
+
+        ``src_key`` is the chain's authoritative current location (its
+        summary may lag one cycle on the pipelined path).
+        """
         mig = self.fleet.migration
-        src_key = (chain.shard, chain.node)
         dst_shard, _dst_node = self._global_nodes[dst]
         horizon_s = mig.amortize_intervals * self.interval_s
         # Gain: vacating a node drops it to the parked floor (minus the
@@ -509,8 +624,8 @@ class FleetCoordinator:
         # Cost: redeploy overhead, plus shipping resident state + DMA
         # buffer over the inter-shard link for cross-shard moves.
         cost_j = mig.setup_j
-        if dst_shard != chain.shard:
-            link = self.fleet.topology.link_between(chain.shard, dst_shard)
+        if dst_shard != src_key[0]:
+            link = self.fleet.topology.link_between(src_key[0], dst_shard)
             transfer_s = (
                 (chain.state_bytes + chain.dma_bytes) * 8.0 / (link.gbps * 1e9)
                 + link.latency_s
@@ -518,7 +633,9 @@ class FleetCoordinator:
             cost_j += transfer_s * mig.link_power_w
         return gain_j, cost_j, reason
 
-    def _apply_migrations(self, moves: list[_Move]) -> None:
+    def _apply_migrations(
+        self, moves: tuple[_Move, ...], cycle: int, interval: int
+    ) -> None:
         for move in moves:
             src_shard, _ = move.src
             dst_shard, dst_node = move.dst
@@ -529,8 +646,8 @@ class FleetCoordinator:
             self._migration_energy_j += move.cost_j
             self._migrations.append(
                 {
-                    "cycle": self._cycle,
-                    "interval": self._interval,
+                    "cycle": cycle,
+                    "interval": interval,
                     "chain": move.chain,
                     "src_shard": src_shard,
                     "src_node": move.src[1],
@@ -544,22 +661,27 @@ class FleetCoordinator:
 
     # -- knob steering -----------------------------------------------------
 
-    def _steer_knobs(
-        self, summaries: dict[str, ChainSummary], departed: set[str]
-    ) -> int:
+    def _plan_knobs(
+        self,
+        summaries: dict[str, ChainSummary],
+        departed: set[str],
+        placement: Mapping[str, tuple[str, int]],
+    ) -> tuple[tuple[str, dict[str, dict[str, Any]]], ...]:
         from repro.nfv.knobs import DEFAULT_RANGES as ranges
 
         steering = self.fleet.steering
         if not steering.enabled:
-            return 0
+            return ()
         # Cap targets at the hardware ranges the nodes will clamp to, so
         # a chain already pinned at the limits is not re-sent the same
-        # futile update every cycle.
+        # futile update every cycle.  ``placement`` is the planned
+        # post-migration layout, so an update for a migrating chain is
+        # routed to its destination shard.
         share_max = min(steering.share_max, ranges.max_cpu_share)
         share_min = max(steering.share_min, ranges.min_cpu_share)
         per_shard: dict[str, dict[str, dict[str, Any]]] = {}
         for name in sorted(summaries):
-            if name in departed or name not in self._placement:
+            if name in departed or name not in placement:
                 continue
             chain = summaries[name]
             knobs = dict(chain.knobs)
@@ -583,11 +705,9 @@ class FleetCoordinator:
                 continue
             if knobs == dict(chain.knobs):
                 continue
-            shard, _node = self._placement[name]
+            shard, _node = placement[name]
             per_shard.setdefault(shard, {})[name] = knobs
-        for shard, updates in sorted(per_shard.items()):
-            self.handles[shard].set_knobs(updates)
-        return sum(len(u) for u in per_shard.values())
+        return tuple(sorted(per_shard.items()))
 
     # -- results -----------------------------------------------------------
 
@@ -645,6 +765,7 @@ def run_fleet(
     *,
     backend: str | None = None,
     cycles: int | None = None,
+    pipeline_depth: int | None = None,
     out_path=None,
     mp_context: str | None = None,
 ) -> FleetResult:
@@ -653,8 +774,8 @@ def run_fleet(
     ``spec`` is a :class:`~repro.scenario.spec.ScenarioSpec` whose
     ``fleet`` field holds the fleet section (inline or via a
     :data:`~repro.fleet.spec.FLEETS` preset).  ``backend`` / ``cycles``
-    override the section without editing the spec.  Writes the JSON
-    artifact to ``out_path`` when given.
+    / ``pipeline_depth`` override the section without editing the spec.
+    Writes the JSON artifact to ``out_path`` when given.
     """
     if getattr(spec, "fleet", None) is None:
         raise ValueError(
@@ -666,6 +787,8 @@ def run_fleet(
         fleet = fleet.with_updates(cycles=cycles)
     if backend is not None:
         fleet = fleet.with_updates(backend=backend)
+    if pipeline_depth is not None:
+        fleet = fleet.with_updates(pipeline_depth=pipeline_depth)
     t0 = time.perf_counter()
     with FleetCoordinator(
         fleet,

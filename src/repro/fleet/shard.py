@@ -18,9 +18,15 @@ Two interchangeable backends execute the same :class:`ShardSim`:
 single-process baselines) and :class:`ShardWorker` runs it in a real
 worker process behind a pipe — the same message-loop plumbing as
 :mod:`repro.rl.apex_mp`'s actor workers, with commands batched so one
-coordinator cycle costs one round trip per shard.  Because every
-stochastic input is counter-based (:mod:`repro.fleet.workload`), both
-backends produce bit-identical telemetry for the same seed.
+coordinator cycle costs one round trip per shard.  The report body does
+not travel over the pipe: each worker writes its telemetry into a
+shared-memory :class:`~repro.fleet.arena.TelemetryArena` and the run
+reply is a tiny ``("telemetry", bank, generation, start, n, n_chains)``
+ack; the handle reconstructs the :class:`ShardReport` from the arena
+bank using its own ticket mirror (resynced only on deploy/undeploy).
+Because every stochastic input is counter-based
+(:mod:`repro.fleet.workload`), both backends produce bit-identical
+telemetry for the same seed.
 """
 
 from __future__ import annotations
@@ -30,6 +36,12 @@ import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
+from repro.fleet.arena import (
+    BANKS,
+    CHAIN_FIELDS,
+    ArenaLayout,
+    TelemetryArena,
+)
 from repro.hw.server import ServerSpec
 from repro.nfv.chain import (
     ServiceChain,
@@ -121,6 +133,10 @@ class ShardConfig:
     workload: Mapping[str, Any]
     parked_power_w: float
     initial_chains: tuple[ChainTicket, ...] = ()
+    #: Telemetry-arena capacity: interval rows per ``run`` reply and the
+    #: hard cap on hosted chains (0 = auto-size from the initial layout).
+    arena_intervals: int = 64
+    arena_chains: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -131,12 +147,35 @@ class ShardConfig:
             raise ValueError("interval must be positive")
         if self.parked_power_w < 0:
             raise ValueError("parked power must be >= 0")
+        if self.arena_intervals < 1:
+            raise ValueError("arena_intervals must be >= 1")
+        if self.arena_chains < 0:
+            raise ValueError("arena_chains must be >= 0")
         if not isinstance(self.sla_params, dict):
             object.__setattr__(self, "sla_params", dict(self.sla_params))
         if not isinstance(self.workload, dict):
             object.__setattr__(self, "workload", dict(self.workload))
         if not isinstance(self.initial_chains, tuple):
             object.__setattr__(self, "initial_chains", tuple(self.initial_chains))
+
+
+def arena_layout_for(config: ShardConfig) -> ArenaLayout:
+    """The telemetry-arena shape implied by a shard config.
+
+    Both pipe ends call this on the *same* config, so the layout never
+    needs to be negotiated over the pipe.  ``arena_chains=0`` auto-sizes
+    to comfortably above the initial deployment (churn and migration can
+    only grow a shard up to the coordinator's admission caps, which pass
+    an explicit capacity instead).
+    """
+    chains = config.arena_chains or max(
+        16, 2 * len(config.initial_chains), 2 * config.n_nodes
+    )
+    return ArenaLayout(
+        max_intervals=config.arena_intervals,
+        max_chains=chains,
+        n_nodes=config.n_nodes,
+    )
 
 
 @dataclass(frozen=True)
@@ -424,7 +463,7 @@ def _error_payload(exc: BaseException, *, frames: int = 8) -> tuple[str, str, st
     return ("error", summary, trimmed)
 
 
-def shard_worker(config: ShardConfig, conn) -> None:
+def shard_worker(config: ShardConfig, conn, arena_name: str) -> None:
     """Worker-process main loop (one shard's NF/SDN agent).
 
     Construction is part of the protocol: the worker reports ``ready``
@@ -432,9 +471,18 @@ def shard_worker(config: ShardConfig, conn) -> None:
     bad config surfaces as the real exception message in the parent —
     exactly where the local backend would raise it — instead of a dead
     pipe on the first command.
+
+    Run telemetry travels through the shared-memory arena named
+    ``arena_name`` (created and owned by the parent handle): the worker
+    stores each report into the bank ``runs % BANKS`` and replies with a
+    small ``("telemetry", ...)`` ack.  The ``generation`` counter bumps
+    on every successful deploy/undeploy — the parent mirrors it, so a
+    telemetry ack written against a stale chain set is detected instead
+    of silently mis-mapping arena rows to chain names.
     """
     try:
         sim = ShardSim(config)
+        arena = TelemetryArena.attach(arena_name, arena_layout_for(config))
     except Exception as exc:
         try:
             conn.send(_error_payload(exc))
@@ -442,6 +490,8 @@ def shard_worker(config: ShardConfig, conn) -> None:
             pass
         return
     conn.send(("ready", config.name))
+    generation = 0
+    runs = 0
     try:
         while True:
             msg = conn.recv()
@@ -451,12 +501,37 @@ def shard_worker(config: ShardConfig, conn) -> None:
                 return
             try:
                 if kind == "run":
-                    conn.send(("report", sim.run(msg[1], msg[2])))
+                    if msg[2] > arena.layout.max_intervals:
+                        # Refuse before stepping: a post-hoc overflow in
+                        # store_report would leave the sim clock advanced
+                        # with the telemetry dropped.
+                        raise ValueError(
+                            f"shard {config.name!r} arena is sized for "
+                            f"{arena.layout.max_intervals} interval rows "
+                            f"per run, asked for {msg[2]}"
+                        )
+                    report = sim.run(msg[1], msg[2])
+                    bank = runs % BANKS
+                    arena.store_report(bank, generation, report)
+                    runs += 1
+                    conn.send(
+                        ("telemetry", bank, generation, msg[1], msg[2],
+                         len(report.chains))
+                    )
                 elif kind == "deploy":
+                    if len(sim.chain_names) >= arena.layout.max_chains:
+                        raise ValueError(
+                            f"shard {config.name!r} arena is sized for "
+                            f"{arena.layout.max_chains} chains; deploy of "
+                            f"{msg[1].name!r} refused"
+                        )
                     sim.deploy(msg[1])
+                    generation += 1
                     conn.send(("ok",))
                 elif kind == "undeploy":
-                    conn.send(("ticket", sim.undeploy(msg[1])))
+                    ticket = sim.undeploy(msg[1])
+                    generation += 1
+                    conn.send(("ticket", ticket))
                 elif kind == "knobs":
                     sim.set_knobs(msg[1])
                     conn.send(("ok",))
@@ -466,14 +541,22 @@ def shard_worker(config: ShardConfig, conn) -> None:
                 conn.send(_error_payload(exc))
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         return
+    finally:
+        arena.close()
 
 
 class ShardWorker:
-    """Process-backed shard handle: one worker process, one pipe.
+    """Process-backed shard handle: one worker process, one pipe, one
+    shared-memory telemetry arena.
 
     The coordinator overlaps shards by sending every handle its ``run``
-    command before collecting any report; deployment and knob commands
-    are synchronous (they are rare and must be ordered).
+    command before collecting any ack; deployment and knob commands are
+    synchronous (they are rare and must be ordered).  The handle keeps a
+    ticket mirror of the worker's chain set — sorted chain name is the
+    arena row order — plus a generation counter bumped on every
+    deploy/undeploy, so :meth:`finish_run` can rebuild the
+    :class:`ShardReport` from the arena bank and detect a desynced row
+    map instead of mis-attributing telemetry.
     """
 
     backend = "process"
@@ -481,15 +564,26 @@ class ShardWorker:
     def __init__(self, config: ShardConfig, *, mp_context: str | None = None):
         ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self.name = config.name
-        parent_conn, child_conn = ctx.Pipe()
-        self._conn = parent_conn
-        self._proc = ctx.Process(
-            target=shard_worker, args=(config, child_conn), daemon=True
-        )
-        self._proc.start()
+        self.arena = TelemetryArena.create(arena_layout_for(config))
+        self._tickets: dict[str, ChainTicket] = {
+            ticket.name: ticket for ticket in config.initial_chains
+        }
+        self._generation = 0
+        self._runs = 0
+        self._run_span: tuple[int, int] | None = None
         self._in_flight = False
         self._closed = False
+        self._conn = None
+        self._proc = None
         try:
+            parent_conn, child_conn = ctx.Pipe()
+            self._conn = parent_conn
+            self._proc = ctx.Process(
+                target=shard_worker,
+                args=(config, child_conn, self.arena.name),
+                daemon=True,
+            )
+            self._proc.start()
             self._recv("ready")
         except BaseException:
             self.close()
@@ -498,7 +592,9 @@ class ShardWorker:
     def _recv(self, expect: str):
         try:
             msg = self._conn.recv()
-        except EOFError:
+        except (EOFError, ConnectionResetError):
+            # EOF for an orderly peer close, ECONNRESET when the worker
+            # process was killed outright mid-command.
             raise RuntimeError(
                 f"shard {self.name!r} worker died without replying"
             ) from None
@@ -509,31 +605,125 @@ class ShardWorker:
             raise RuntimeError(f"shard {self.name!r} worker: {detail}")
         if msg[0] != expect:  # pragma: no cover - protocol bug
             raise RuntimeError(f"shard {self.name!r}: expected {expect!r}, got {msg[0]!r}")
+        if len(msg) > 2:
+            return tuple(msg[1:])
         return msg[1] if len(msg) > 1 else None
 
     def begin_run(self, start: int, n: int) -> None:
-        """Dispatch one run command without waiting for the report."""
+        """Dispatch one run command without waiting for the ack."""
         if self._in_flight:
             raise RuntimeError("previous run not collected")
         self._conn.send(("run", start, n))
+        self._run_span = (start, n)
         self._in_flight = True
 
     def finish_run(self) -> ShardReport:
-        """Block for the report of the last :meth:`begin_run`."""
+        """Block for the telemetry ack, then rebuild the report from the
+        arena bank it names."""
         if not self._in_flight:
             raise RuntimeError("no run in flight")
         self._in_flight = False
-        return self._recv("report")
+        bank, generation, start, n, n_chains = self._recv("telemetry")
+        expected_bank = self._runs % BANKS
+        self._runs += 1
+        if (
+            bank != expected_bank
+            or generation != self._generation
+            or (start, n) != self._run_span
+            or n_chains != len(self._tickets)
+        ):  # pragma: no cover - protocol bug
+            raise RuntimeError(
+                f"shard {self.name!r}: telemetry ack out of sync (bank "
+                f"{bank}/{expected_bank}, generation {generation}/"
+                f"{self._generation}, span {(start, n)}/{self._run_span}, "
+                f"chains {n_chains}/{len(self._tickets)})"
+            )
+        return self._load_report(bank, start, n)
+
+    def _load_report(self, bank: int, start: int, n: int) -> ShardReport:
+        """Arena bank -> :class:`ShardReport` (scalar copies off the
+        shared views; names/flows/NFs come from the ticket mirror)."""
+        arena = self.arena
+        ivals = arena.intervals(bank)
+        intervals = tuple(
+            IntervalRecord(
+                index=start + j,
+                energy_j=float(ivals[j, 0]),
+                throughput_gbps=float(ivals[j, 1]),
+                offered_pps=float(ivals[j, 2]),
+                sla_violations=int(ivals[j, 3]),
+                chains=int(ivals[j, 4]),
+            )
+            for j in range(n)
+        )
+        rows = arena.chains(bank)
+        width = len(CHAIN_FIELDS)
+        chains: list[ChainSummary] = []
+        for i, name in enumerate(sorted(self._tickets)):
+            ticket = self._tickets[name]
+            row = rows[i]
+            if int(row[0]) != ticket.node:  # pragma: no cover - protocol bug
+                raise RuntimeError(
+                    f"shard {self.name!r}: arena row {i} is on node "
+                    f"{int(row[0])}, ticket mirror says chain {name!r} "
+                    f"is on node {ticket.node}"
+                )
+            chains.append(
+                ChainSummary(
+                    name=name,
+                    shard=self.name,
+                    node=ticket.node,
+                    flow=ticket.flow,
+                    nfs=ticket.nfs,
+                    utilization=float(row[1]),
+                    throughput_gbps=float(row[2]),
+                    power_w=float(row[3]),
+                    offered_pps=float(row[4]),
+                    sla_ok=bool(row[5]),
+                    state_bytes=float(row[6]),
+                    dma_bytes=float(row[7]),
+                    knobs={
+                        "cpu_share": float(row[width]),
+                        "cpu_freq_ghz": float(row[width + 1]),
+                        "llc_fraction": float(row[width + 2]),
+                        "dma_mb": float(row[width + 3]),
+                        "batch_size": int(row[width + 4]),
+                    },
+                )
+            )
+        node_rows = arena.nodes(bank)
+        nodes = tuple(
+            NodeSummary(
+                shard=self.name,
+                node=j,
+                chains=int(node_rows[j, 0]),
+                power_w=float(node_rows[j, 1]),
+                utilization=float(node_rows[j, 2]),
+            )
+            for j in range(arena.layout.n_nodes)
+        )
+        return ShardReport(
+            shard=self.name,
+            intervals=intervals,
+            chains=tuple(chains),
+            nodes=nodes,
+        )
 
     def deploy(self, ticket: ChainTicket) -> None:
-        """Deploy a ticketed chain (synchronous)."""
+        """Deploy a ticketed chain (synchronous; resyncs the row map)."""
         self._conn.send(("deploy", ticket))
         self._recv("ok")
+        self._tickets[ticket.name] = ticket
+        self._generation += 1
 
     def undeploy(self, name: str) -> ChainTicket:
-        """Remove a chain; returns its migration ticket (synchronous)."""
+        """Remove a chain; returns its migration ticket (synchronous;
+        resyncs the row map)."""
         self._conn.send(("undeploy", name))
-        return self._recv("ticket")
+        ticket = self._recv("ticket")
+        del self._tickets[name]
+        self._generation += 1
+        return ticket
 
     def set_knobs(self, updates: Mapping[str, Mapping[str, Any]]) -> None:
         """Apply per-chain knob settings (synchronous)."""
@@ -541,24 +731,40 @@ class ShardWorker:
         self._recv("ok")
 
     def close(self) -> None:
-        """Stop the worker and reap its process."""
+        """Stop the worker, reap its process and reclaim the arena."""
         if self._closed:
             return
         self._closed = True
         try:
-            self._conn.send(("stop",))
-        except (BrokenPipeError, OSError):  # pragma: no cover
-            pass
-        else:
-            try:
-                if self._conn.poll(2.0):
-                    self._conn.recv()
-            except (EOFError, OSError):  # pragma: no cover
-                pass
-        self._proc.join(timeout=5.0)
-        if self._proc.is_alive():  # pragma: no cover - stuck worker
-            self._proc.terminate()
-            self._proc.join(timeout=2.0)
+            if self._conn is not None:
+                if self._in_flight:
+                    # Drain the pending telemetry ack first: the stop
+                    # handshake below would otherwise consume it as its
+                    # own reply and tear the worker down mid-run.
+                    self._in_flight = False
+                    try:
+                        if self._conn.poll(30.0):
+                            self._conn.recv()
+                    except (EOFError, OSError):
+                        pass
+                try:
+                    self._conn.send(("stop",))
+                except (BrokenPipeError, OSError):  # pragma: no cover
+                    pass
+                else:
+                    try:
+                        if self._conn.poll(2.0):
+                            self._conn.recv()
+                    except (EOFError, OSError):  # pragma: no cover
+                        pass
+            if self._proc is not None:
+                self._proc.join(timeout=5.0)
+                if self._proc.is_alive():  # pragma: no cover - stuck worker
+                    self._proc.terminate()
+                    self._proc.join(timeout=2.0)
+        finally:
+            self.arena.close()
+            self.arena.unlink()
 
     def __enter__(self) -> "ShardWorker":
         return self

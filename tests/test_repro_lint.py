@@ -364,7 +364,9 @@ class TestProtocolChecker:
         source = shard_source()
         handler = (
             '                elif kind == "undeploy":\n'
-            '                    conn.send(("ticket", sim.undeploy(msg[1])))\n'
+            '                    ticket = sim.undeploy(msg[1])\n'
+            '                    generation += 1\n'
+            '                    conn.send(("ticket", ticket))\n'
         )
         assert handler in source
         report = lint_tree(
@@ -377,6 +379,39 @@ class TestProtocolChecker:
         assert "deadlock" in mp001.message
         mp004 = next(f for f in mp_findings if f.code == "MP004")
         assert "'ticket'" in mp004.message
+
+    def test_renaming_telemetry_reply_is_caught(self, tmp_path):
+        # The zero-copy run reply: rename the worker's "telemetry" ack
+        # and both ends must light up — the worker now sends a reply kind
+        # the parent never expects (MP002) and the parent still waits on
+        # one the worker never sends (MP004).
+        source = shard_source()
+        assert '("telemetry",' in source  # the worker-side ack tuple
+        report = lint_tree(
+            tmp_path,
+            {SHARD_REL: source.replace('("telemetry",', '("telemetry2",')},
+            config=SHARD_CFG,
+        )
+        by_code = {f.code: f for f in report.findings if f.code.startswith("MP")}
+        assert set(by_code) == {"MP002", "MP004"}
+        assert "'telemetry2'" in by_code["MP002"].message
+        assert "'telemetry'" in by_code["MP004"].message
+
+    def test_dropping_telemetry_expectation_is_caught(self, tmp_path):
+        # Parent stops expecting the telemetry ack: the worker's reply
+        # kind becomes unexpected (MP002) and the "run" request loses its
+        # reply path on the parent side (the ack the worker sends for it
+        # is no longer received anywhere).
+        source = shard_source()
+        needle = 'self._recv("telemetry")'
+        assert needle in source
+        report = lint_tree(
+            tmp_path,
+            {SHARD_REL: source.replace(needle, 'self._recv("ok")')},
+            config=SHARD_CFG,
+        )
+        mp_codes = {f.code for f in report.findings if f.code.startswith("MP")}
+        assert "MP002" in mp_codes
 
     def test_dead_handler_is_a_warning(self, tmp_path):
         # Make the parent stop sending "knobs": the worker branch is dead.
