@@ -618,3 +618,51 @@ class ReferenceShardWorker:
         self._proc.join(timeout=5.0)
         if self._proc.is_alive():
             self._proc.terminate()
+
+
+# -- fleet: per-pair scalar routing --------------------------------------------
+
+
+def reference_route_tables(topology, k: int = 1):
+    """Per-pair scalar routing: one Dijkstra per source, Python k-vias.
+
+    The pre-``RoutingTable`` shape: every source shard runs its own
+    heap-based Dijkstra over a neighbor dict, then each pair scans every
+    via shard in a Python loop for the ``k - 1`` best one-via
+    alternative latencies.  Returns ``(dist, alternatives)`` as nested
+    dicts keyed by shard name, matching what the vectorized tables hold
+    so the bench can cross-check them.
+    """
+    import heapq
+
+    names = [s.name for s in topology.shards]
+    neighbors: dict[str, list[tuple[str, float]]] = {n: [] for n in names}
+    for link in topology.edges():
+        neighbors[link.a].append((link.b, link.latency_s))
+        neighbors[link.b].append((link.a, link.latency_s))
+    dist: dict[str, dict[str, float]] = {}
+    for src in names:
+        best = {src: 0.0}
+        heap = [(0.0, src)]
+        while heap:
+            d, cur = heapq.heappop(heap)
+            if d > best.get(cur, math.inf):
+                continue
+            for nxt, w in neighbors[cur]:
+                alt = d + w
+                if alt < best.get(nxt, math.inf):
+                    best[nxt] = alt
+                    heapq.heappush(heap, (alt, nxt))
+        dist[src] = {dst: best.get(dst, math.inf) for dst in names}
+    alts: dict[str, dict[str, list[float]]] = {}
+    for src in names:
+        row: dict[str, list[float]] = {}
+        for dst in names:
+            vias = sorted(
+                dist[src][m] + dist[m][dst]
+                for m in names
+                if m != src and m != dst
+            )
+            row[dst] = [dist[src][dst]] + vias[: max(0, k - 1)]
+        alts[src] = row
+    return dist, alts

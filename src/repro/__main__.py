@@ -200,6 +200,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         backend=args.backend,
         cycles=args.cycles,
         pipeline_depth=args.pipeline_depth,
+        placement=args.placement,
         out_path=args.out,
     )
     t = result.totals
@@ -210,6 +211,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             ["metric", "value"],
             [
                 ["backend", fleet["backend"]],
+                ["placement", fleet["placement"]],
                 ["shards", len(shards)],
                 ["total nodes", sum(s["nodes"] for s in shards)],
                 ["intervals", t["intervals"]],
@@ -221,6 +223,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 ["T/E (Gbps/kJ)", t["energy_efficiency"]],
                 ["SLA violations", t["sla_violations"]],
                 ["migrations", t["migrations"]],
+                ["  routed hops", t["migration_hops"]],
                 ["churn (+/-)", f"{t['arrivals']}/{t['departures']}"],
                 ["wall clock (s)", result.elapsed_s],
             ],
@@ -277,9 +280,10 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"  chains:      {', '.join(CHAINS.names())}")
     print(f"  traffic:     {', '.join(TRAFFIC.names())}")
     print(f"  knob grids:  {', '.join(GRIDS.names())} (scan)")
-    from repro.fleet import FLEETS
+    from repro.fleet import FLEETS, PLACEMENTS
 
     print(f"  fleets:      {', '.join(FLEETS.names())} (fleet)")
+    print(f"  placements:  {', '.join(PLACEMENTS.names())} (fleet --placement)")
     return 0
 
 
@@ -364,6 +368,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--pipeline-depth", type=int, default=None, choices=(0, 1),
         help="override the decide/step overlap (0 = lockstep, 1 = "
              "double-buffered: decisions land one cycle later)",
+    )
+    p_fleet.add_argument(
+        "--placement", default=None,
+        choices=("watermark", "greedy", "genetic"),
+        help="override the placement policy proposing migrations "
+             "(watermark = flow-affine consolidation; greedy/genetic = "
+             "topology-aware routed-energy searchers)",
     )
     p_fleet.add_argument("--seed", type=int, default=None, help="override the seed")
     p_fleet.add_argument("--quick", action="store_true", help="reduced budgets")

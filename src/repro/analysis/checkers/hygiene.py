@@ -120,6 +120,7 @@ REGISTRY_SITES: tuple[tuple[str, str], ...] = (
     ("repro.scenario", "SCENARIOS"),
     ("repro.scenario", "SWEEPS"),
     ("repro.fleet", "FLEETS"),
+    ("repro.fleet.placement", "PLACEMENTS"),
 )
 
 

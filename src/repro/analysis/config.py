@@ -80,6 +80,7 @@ class LintConfig:
         default_factory=lambda: {
             "src/repro/nfv/engine.py": ("ChainKernelPlan",),
             "src/repro/nfv/cluster_kernel.py": ("ClusterKernel", "_FusedMeta"),
+            "src/repro/fleet/routing.py": ("RoutingTable",),
         }
     )
     #: Methods (besides __init__/__post_init__/compile*) allowed to write
@@ -95,6 +96,11 @@ class LintConfig:
         default_factory=lambda: {
             "src/repro/nfv/engine.py": ("ChainKernelPlan.step",),
             "src/repro/nfv/cluster_kernel.py": ("ClusterKernel._step_fused",),
+            "src/repro/fleet/routing.py": (
+                "RoutingTable._compile_tables",
+                "RoutingTable.k_alternatives",
+            ),
+            "src/repro/fleet/placement.py": ("GeneticPlacement._fitness",),
         }
     )
 
@@ -155,7 +161,8 @@ class LintConfig:
 
     # -- registry hygiene --------------------------------------------------
     #: Import the live registries (SLAS/CHAINS/TRAFFIC/CONTROLLERS/
-    #: SCENARIOS/SWEEPS/GRIDS/FLEETS) and verify every entry resolves to
+    #: SCENARIOS/SWEEPS/GRIDS/FLEETS/PLACEMENTS) and verify every entry
+    #: resolves to
     #: an importable symbol.  Disabled for doctored test projects whose
     #: tree is not the real package.
     registry_check: bool = True

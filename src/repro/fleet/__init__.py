@@ -25,6 +25,14 @@ Entry points::
 
 from repro.fleet.arena import ArenaLayout, TelemetryArena
 from repro.fleet.coordinator import FleetCoordinator, FleetResult, run_fleet
+from repro.fleet.placement import (
+    PLACEMENTS,
+    GeneticPlacement,
+    GreedyPlacement,
+    PlacementModel,
+    WatermarkPlacement,
+)
+from repro.fleet.routing import RoutingTable
 from repro.fleet.shard import (
     ChainTicket,
     LocalShard,
@@ -34,7 +42,12 @@ from repro.fleet.shard import (
     arena_layout_for,
 )
 from repro.fleet.spec import FLEETS, FleetSpec, MigrationConfig, SteeringConfig
-from repro.fleet.topology import FleetTopology, InterShardLink, ShardSpec
+from repro.fleet.topology import (
+    TOPOLOGY_PRESETS,
+    FleetTopology,
+    InterShardLink,
+    ShardSpec,
+)
 from repro.fleet.workload import (
     ChurnConfig,
     FlashCrowdConfig,
@@ -44,6 +57,8 @@ from repro.fleet.workload import (
 
 __all__ = [
     "FLEETS",
+    "PLACEMENTS",
+    "TOPOLOGY_PRESETS",
     "ArenaLayout",
     "ChainTicket",
     "ChurnConfig",
@@ -52,15 +67,20 @@ __all__ = [
     "FleetResult",
     "FleetSpec",
     "FleetTopology",
+    "GeneticPlacement",
+    "GreedyPlacement",
     "InterShardLink",
     "LocalShard",
     "MigrationConfig",
+    "PlacementModel",
+    "RoutingTable",
     "ShardConfig",
     "ShardSim",
     "ShardSpec",
     "ShardWorker",
     "SteeringConfig",
     "TelemetryArena",
+    "WatermarkPlacement",
     "WorkloadConfig",
     "arena_layout_for",
     "interval_stream",

@@ -7,12 +7,15 @@ decisions the single-cluster controllers cannot:
 
 * **churn** — admit Poisson chain arrivals onto the least-loaded nodes
   and retire departing chains (:meth:`~repro.fleet.workload.WorkloadConfig.churn_events`);
-* **cross-shard chain migration** — a greedy consolidation pass: the
-  fleet-wide target placement comes from
-  :func:`~repro.nfv.cluster.consolidation_plan` (flow-path co-location,
-  capacity-bounded), and each proposed move is accepted only when its
-  estimated energy gain beats the migration cost model and the target
-  has SLA headroom (see :class:`~repro.fleet.spec.MigrationConfig`);
+* **cross-shard chain migration** — the configured
+  :data:`~repro.fleet.placement.PLACEMENTS` policy (``watermark``:
+  flow-affine :func:`~repro.nfv.cluster.consolidation_plan`; ``greedy``
+  / ``genetic``: topology-aware routed-energy searchers) proposes the
+  fleet-wide target placement, and each proposed move is accepted only
+  when its estimated energy gain beats the migration cost model —
+  priced along the :class:`~repro.fleet.routing.RoutingTable` path for
+  cross-shard moves — and the target has SLA headroom (see
+  :class:`~repro.fleet.spec.MigrationConfig`);
 * **SDN knob steering** — watermark rules on each chain's bottleneck
   utilization, scattered back as per-chain knob updates.
 
@@ -49,9 +52,10 @@ from repro.fleet.shard import (
     ShardWorker,
     kind_nfs,
 )
+from repro.fleet.placement import PLACEMENTS
+from repro.fleet.routing import RoutingTable
 from repro.fleet.spec import FleetSpec
 from repro.fleet.topology import CHAIN_KINDS
-from repro.nfv.cluster import consolidation_plan
 
 #: Fleet-artifact schema version (bump on layout changes).
 FLEET_FORMAT_VERSION = 1
@@ -132,7 +136,14 @@ class FleetResult:
 
 @dataclass(frozen=True)
 class _Move:
-    """One accepted migration decision."""
+    """One accepted migration decision.
+
+    ``path`` is the routed shard sequence the transfer travels
+    (``(src_shard, ..., dst_shard)`` for cross-shard moves, the single
+    shard for intra-shard moves); ``path_latency_s`` and
+    ``bottleneck_gbps`` describe that path's summed latency and
+    thinnest link.
+    """
 
     chain: str
     src: tuple[str, int]
@@ -140,6 +151,9 @@ class _Move:
     gain_j: float
     cost_j: float
     reason: str
+    path: tuple[str, ...]
+    path_latency_s: float
+    bottleneck_gbps: float
 
 
 @dataclass(frozen=True)
@@ -190,6 +204,18 @@ class FleetCoordinator:
         self._global_index = {
             key: g for g, key in enumerate(self._global_nodes)
         }
+        #: All-pairs routed paths over the inter-shard link graph; the
+        #: migration cost model prices every cross-shard move along its
+        #: routed hops (one hop on a full mesh — the pre-graph model).
+        self._routing = RoutingTable(topo)
+        self._placer = PLACEMENTS.get(fleet.placement)(
+            fleet=fleet,
+            routing=self._routing,
+            global_nodes=self._global_nodes,
+            global_index=self._global_index,
+            interval_s=self.interval_s,
+            seed=self.seed,
+        )
         # Initial deployment: chains_per_node per node, chain kinds
         # cycling per the shard spec, consecutive chains sharing a flow
         # group (the co-location affinity consolidation acts on).
@@ -370,7 +396,9 @@ class FleetCoordinator:
         for key in placement.values():
             counts[self._global_index[key]] += 1
         moves = tuple(
-            self._plan_migrations(summaries, node_info, departed, placement, counts)
+            self._plan_migrations(
+                cycle, summaries, node_info, departed, placement, counts
+            )
         )
         for move in moves:
             placement[move.chain] = move.dst
@@ -489,24 +517,27 @@ class FleetCoordinator:
 
     def _plan_migrations(
         self,
+        cycle: int,
         summaries: dict[str, ChainSummary],
         node_info: dict[tuple[str, int], NodeSummary],
         departed: set[str],
         placement: Mapping[str, tuple[str, int]],
         counts: list[int],
     ) -> list[_Move]:
-        """Greedy consolidation: plan target, keep net-positive moves.
+        """Policy proposes, the cost model disposes: keep net-positive moves.
 
-        ``consolidation_plan`` proposes the fleet-wide flow-affine
-        placement; each differing chain becomes a candidate move scored
-        by the :class:`~repro.fleet.spec.MigrationConfig` model, and the
-        best ``budget_per_cycle`` net-positive moves that keep SLA
-        headroom at the target are applied.  ``placement`` and ``counts``
-        are the *authoritative* post-departure chain locations and
-        per-node occupancy — on the pipelined path the gathered
-        ``summaries`` are one cycle stale (a chain migrated by the
-        previous plan still reports its old node), so move sources come
-        from ``placement``; the telemetry only feeds the scoring.
+        The configured :data:`~repro.fleet.placement.PLACEMENTS` policy
+        proposes the fleet-wide desired placement (``watermark`` is the
+        original flow-affine ``consolidation_plan``); each differing
+        chain becomes a candidate move scored by the
+        :class:`~repro.fleet.spec.MigrationConfig` model over its routed
+        path, and the best ``budget_per_cycle`` net-positive moves that
+        keep SLA headroom at the target are applied.  ``placement`` and
+        ``counts`` are the *authoritative* post-departure chain
+        locations and per-node occupancy — on the pipelined path the
+        gathered ``summaries`` are one cycle stale (a chain migrated by
+        the previous plan still reports its old node), so move sources
+        come from ``placement``; the telemetry only feeds the scoring.
         ``counts`` is mutated in place as moves are accepted, so the
         caller's arrival pass sees the post-migration occupancy.
         """
@@ -521,42 +552,53 @@ class FleetCoordinator:
         # Departed chains must not influence any score (e.g. a phantom
         # co-location bonus for a flow-mate that no longer exists).
         summaries = {n: summaries[n] for n in names}
-        chains = [summaries[n] for n in names]
-        flow_paths = {n: [summaries[n].flow] for n in names}
-        try:
-            desired = consolidation_plan(
-                chains,
-                flow_paths,
-                len(self._global_nodes),
-                capacity=mig.capacity_per_node,
-            )
-        except ValueError:
-            # More chains than the capacity model admits (transient churn
-            # overshoot): skip consolidation this cycle.
+        desired = self._placer.desired(
+            cycle=cycle,
+            names=names,
+            summaries=summaries,
+            placement=placement,
+            counts=counts,
+            node_info=node_info,
+        )
+        if desired is None:
             return []
-        # Chains of each flow group per desired global node (co-location
-        # bonus lookup).
-        candidates: list[tuple[float, str, int, float, float, str]] = []
+        candidates: list[
+            tuple[float, str, int, float, float, str, tuple[str, ...]]
+        ] = []
         for name in names:
             chain = summaries[name]
             cur = self._global_index[placement[name]]
             dst = desired[name]
             if dst == cur:
                 continue
-            gain, cost, reason = self._score_move(
-                chain, placement[name], cur, dst, counts, summaries, node_info
+            gain, cost, reason, path = self._score_move(
+                chain,
+                placement[name],
+                cur,
+                dst,
+                counts,
+                summaries,
+                node_info,
+                placement,
             )
+            if (
+                mig.max_path_latency_s > 0.0
+                and len(path) > 1
+                and self._routing.path_latency_s(path[0], path[-1])
+                > mig.max_path_latency_s
+            ):
+                continue
             net = gain - cost
             if net <= 0:
                 continue
-            candidates.append((net, name, dst, gain, cost, reason))
+            candidates.append((net, name, dst, gain, cost, reason, path))
         candidates.sort(key=lambda t: (-t[0], t[1]))
         moves: list[_Move] = []
         target_util = {
             self._global_index[key]: info.utilization
             for key, info in node_info.items()
         }
-        for net, name, dst, gain, cost, reason in candidates:
+        for net, name, dst, gain, cost, reason, path in candidates:
             if len(moves) >= mig.budget_per_cycle:
                 break
             chain = summaries[name]
@@ -567,6 +609,9 @@ class FleetCoordinator:
             # chain's must stay below the watermark.
             if target_util.get(dst, 0.0) + chain.utilization > mig.headroom:
                 continue
+            src_shard = placement[name][0]
+            dst_shard = self._global_nodes[dst][0]
+            cross = dst_shard != src_shard
             moves.append(
                 _Move(
                     chain=name,
@@ -575,6 +620,17 @@ class FleetCoordinator:
                     gain_j=gain,
                     cost_j=cost,
                     reason=reason,
+                    path=path,
+                    path_latency_s=(
+                        self._routing.path_latency_s(src_shard, dst_shard)
+                        if cross
+                        else 0.0
+                    ),
+                    bottleneck_gbps=(
+                        self._routing.path_bottleneck_gbps(src_shard, dst_shard)
+                        if cross
+                        else 0.0
+                    ),
                 )
             )
             counts[dst] += 1
@@ -591,11 +647,17 @@ class FleetCoordinator:
         counts: list[int],
         summaries: dict[str, ChainSummary],
         node_info: dict[tuple[str, int], NodeSummary],
-    ) -> tuple[float, float, str]:
-        """(gain_j, cost_j, reason) of one candidate move.
+        placement: Mapping[str, tuple[str, int]],
+    ) -> tuple[float, float, str, tuple[str, ...]]:
+        """(gain_j, cost_j, reason, path) of one candidate move.
 
         ``src_key`` is the chain's authoritative current location (its
-        summary may lag one cycle on the pipelined path).
+        summary may lag one cycle on the pipelined path), and the
+        co-location lookup reads the authoritative ``placement`` book
+        for the same reason: a flow-mate migrated by the previous plan
+        must count at its *new* node, not where its stale summary still
+        reports it.  ``path`` is the routed shard sequence the transfer
+        travels (just the one shard for intra-shard moves).
         """
         mig = self.fleet.migration
         dst_shard, _dst_node = self._global_nodes[dst]
@@ -615,23 +677,30 @@ class FleetCoordinator:
         dst_key = self._global_nodes[dst]
         same_flow_at_dst = any(
             other.flow == chain.flow
-            and (other.shard, other.node) == dst_key
+            and placement.get(other.name) == dst_key
             and other.name != chain.name
             for other in summaries.values()
         )
         if same_flow_at_dst:
             gain_j += mig.colocation_gain_j
         # Cost: redeploy overhead, plus shipping resident state + DMA
-        # buffer over the inter-shard link for cross-shard moves.
+        # buffer along the routed path for cross-shard moves — each hop
+        # serializes the payload at its own link rate and keeps the
+        # transport powered (``link_power_w``) for its share of the
+        # transfer.  On a full mesh the path is the single direct link,
+        # reproducing the pre-graph cost bit-for-bit.
         cost_j = mig.setup_j
+        path: tuple[str, ...] = (src_key[0],)
         if dst_shard != src_key[0]:
-            link = self.fleet.topology.link_between(src_key[0], dst_shard)
-            transfer_s = (
-                (chain.state_bytes + chain.dma_bytes) * 8.0 / (link.gbps * 1e9)
-                + link.latency_s
-            )
-            cost_j += transfer_s * mig.link_power_w
-        return gain_j, cost_j, reason
+            path = self._routing.path(src_key[0], dst_shard)
+            for link in self._routing.path_links(src_key[0], dst_shard):
+                transfer_s = (
+                    (chain.state_bytes + chain.dma_bytes) * 8.0
+                    / (link.gbps * 1e9)
+                    + link.latency_s
+                )
+                cost_j += transfer_s * mig.link_power_w
+        return gain_j, cost_j, reason, path
 
     def _apply_migrations(
         self, moves: tuple[_Move, ...], cycle: int, interval: int
@@ -656,6 +725,10 @@ class FleetCoordinator:
                     "gain_j": move.gain_j,
                     "cost_j": move.cost_j,
                     "reason": move.reason,
+                    "path": list(move.path),
+                    "hops": max(0, len(move.path) - 1),
+                    "path_latency_s": move.path_latency_s,
+                    "bottleneck_gbps": move.bottleneck_gbps,
                 }
             )
 
@@ -731,6 +804,10 @@ class FleetCoordinator:
             ),
             "sla_violations": sum(r["sla_violations"] for r in records),
             "migrations": len(self._migrations),
+            "migration_hops": sum(m["hops"] for m in self._migrations),
+            "migration_path_latency_s": sum(
+                m["path_latency_s"] for m in self._migrations
+            ),
             "arrivals": sum(
                 1 for c in self._churn_log if c["event"] == "arrival"
             ),
@@ -766,6 +843,7 @@ def run_fleet(
     backend: str | None = None,
     cycles: int | None = None,
     pipeline_depth: int | None = None,
+    placement: str | None = None,
     out_path=None,
     mp_context: str | None = None,
 ) -> FleetResult:
@@ -774,8 +852,9 @@ def run_fleet(
     ``spec`` is a :class:`~repro.scenario.spec.ScenarioSpec` whose
     ``fleet`` field holds the fleet section (inline or via a
     :data:`~repro.fleet.spec.FLEETS` preset).  ``backend`` / ``cycles``
-    / ``pipeline_depth`` override the section without editing the spec.
-    Writes the JSON artifact to ``out_path`` when given.
+    / ``pipeline_depth`` / ``placement`` override the section without
+    editing the spec.  Writes the JSON artifact to ``out_path`` when
+    given.
     """
     if getattr(spec, "fleet", None) is None:
         raise ValueError(
@@ -789,6 +868,8 @@ def run_fleet(
         fleet = fleet.with_updates(backend=backend)
     if pipeline_depth is not None:
         fleet = fleet.with_updates(pipeline_depth=pipeline_depth)
+    if placement is not None:
+        fleet = fleet.with_updates(placement=placement)
     t0 = time.perf_counter()
     with FleetCoordinator(
         fleet,

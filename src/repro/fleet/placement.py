@@ -1,0 +1,338 @@
+"""Joint placement + path-allocation baselines for the fleet coordinator.
+
+The coordinator's migration pass has two halves: a *policy* proposes a
+fleet-wide desired placement, and the common vetting loop keeps only the
+net-positive, budget/capacity/headroom-respecting moves (scored by the
+exact :class:`~repro.fleet.spec.MigrationConfig` model over routed
+paths).  :data:`PLACEMENTS` is the policy registry — ``repro fleet
+--placement {watermark,greedy,genetic}`` — and every policy is a
+deterministic function of the gathered telemetry, the authoritative
+placement book and the cycle index, so seeded runs stay bit-identical
+across backends regardless of the policy.
+
+* ``watermark`` — the original coordinator: flow-affine consolidation
+  via :func:`~repro.nfv.cluster.consolidation_plan`, blind to the link
+  graph (the vetting pass pays routed costs after the fact).
+* ``greedy`` — an LP-shaped greedy relaxation of the joint
+  placement/routing ILP (minimize routed transfer energy plus active
+  node energy, subject to capacity and SLA-headroom constraints):
+  chains are (re)assigned one at a time, heaviest first, each to the
+  node minimizing its marginal routed cost minus vacate/co-location
+  savings.
+* ``genetic`` — a small generational searcher over whole assignments
+  (tournament-free: elite truncation, uniform crossover, point
+  mutation) whose fitness is the same vectorized routed-energy model;
+  all randomness comes from the counter-based
+  :func:`~repro.fleet.workload.interval_stream` keyed on the cycle, so
+  the search is reproducible anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.fleet.routing import RoutingTable
+from repro.fleet.workload import interval_stream
+from repro.nfv.cluster import consolidation_plan
+from repro.scenario.registry import Registry
+
+PLACEMENTS = Registry("placement policy")
+
+#: Constraint-violation penalty: large enough that one overfull node or
+#: blown SLA watermark dominates any achievable energy difference.
+_INFEASIBLE_J = 1e12
+
+
+@dataclass(frozen=True)
+class PlacementModel:
+    """One cycle's placement problem as dense arrays.
+
+    ``C`` chains (the sorted summary names) over ``N`` global nodes.
+    ``move_cost_j[c, n]`` is the routed migration cost estimate of
+    shipping chain ``c`` to node ``n`` (0 at its current node):
+    per-hop serialization over the shortest path's links plus path
+    latency, priced at ``link_power_w`` — the same shape the
+    coordinator's exact scorer charges, built from the routing table's
+    precompiled matrices.  ``extern``/``extern_util`` account for
+    placed chains outside the problem (no telemetry yet), so capacity
+    and headroom stay honest.
+    """
+
+    names: tuple[str, ...]
+    cur: np.ndarray
+    flow: np.ndarray
+    util: np.ndarray
+    power_w: np.ndarray
+    move_cost_j: np.ndarray
+    counts: np.ndarray
+    extern: np.ndarray
+    extern_util: np.ndarray
+    vacate_gain_j: np.ndarray
+    capacity: int
+    headroom: float
+    colocation_gain_j: float
+
+    @property
+    def n_nodes(self) -> int:
+        """Global node count ``N``."""
+        return int(self.counts.shape[0])
+
+
+def build_model(
+    *,
+    fleet: Any,
+    routing: RoutingTable,
+    global_nodes: list[tuple[str, int]],
+    global_index: Mapping[tuple[str, int], int],
+    interval_s: float,
+    names: list[str],
+    summaries: Mapping[str, Any],
+    placement: Mapping[str, tuple[str, int]],
+    counts: list[int],
+    node_info: Mapping[tuple[str, int], Any],
+) -> PlacementModel:
+    """Assemble the dense problem arrays for one cycle."""
+    mig = fleet.migration
+    n_nodes = len(global_nodes)
+    cur = np.array([global_index[placement[n]] for n in names], dtype=np.int64)
+    flow_codes: dict[str, int] = {}
+    flow = np.array(
+        [
+            flow_codes.setdefault(summaries[n].flow, len(flow_codes))
+            for n in names
+        ],
+        dtype=np.int64,
+    )
+    util = np.array([summaries[n].utilization for n in names])
+    power_w = np.array([summaries[n].power_w for n in names])
+    payload = np.array(
+        [summaries[n].state_bytes + summaries[n].dma_bytes for n in names]
+    )
+    node_shard = np.array(
+        [routing.index(shard) for shard, _ in global_nodes], dtype=np.int64
+    )
+    chain_shard = node_shard[cur]
+    inv = routing.inv_gbps_sum[chain_shard[:, None], node_shard[None, :]]
+    lat = routing.latency_s[chain_shard[:, None], node_shard[None, :]]
+    transfer_s = payload[:, None] * 8.0 / 1e9 * inv + lat
+    cross = node_shard[None, :] != chain_shard[:, None]
+    move_cost = mig.setup_j + np.where(cross, transfer_s * mig.link_power_w, 0.0)
+    move_cost[np.arange(len(names)), cur] = 0.0
+    counts_arr = np.asarray(counts, dtype=np.int64)
+    own = np.bincount(cur, minlength=n_nodes)
+    own_util = np.bincount(cur, weights=util, minlength=n_nodes)
+    node_power = np.zeros(n_nodes)
+    node_util = np.zeros(n_nodes)
+    for key, info in node_info.items():
+        g = global_index[key]
+        node_power[g] = info.power_w
+        node_util[g] = info.utilization
+    horizon_s = mig.amortize_intervals * interval_s
+    return PlacementModel(
+        names=tuple(names),
+        cur=cur,
+        flow=flow,
+        util=util,
+        power_w=power_w,
+        move_cost_j=move_cost,
+        counts=counts_arr,
+        extern=np.clip(counts_arr - own, 0, None),
+        extern_util=np.clip(node_util - own_util, 0.0, None),
+        vacate_gain_j=np.clip(node_power - mig.parked_power_w, 0.0, None)
+        * horizon_s,
+        capacity=int(mig.capacity_per_node),
+        headroom=float(mig.headroom),
+        colocation_gain_j=float(mig.colocation_gain_j),
+    )
+
+
+def greedy_assign(model: PlacementModel) -> np.ndarray:
+    """One heaviest-first greedy pass over the LP relaxation.
+
+    Each chain moves to the node minimizing its marginal cost — routed
+    transfer energy minus the vacate saving of emptying its source and
+    the co-location bonus of joining a flow-mate — subject to capacity
+    and headroom; ties (and no-improvement) keep the current node, so
+    an already-consolidated fleet is a fixed point.
+    """
+    assign = model.cur.copy()
+    counts = model.counts.copy()
+    util_n = model.extern_util + np.bincount(
+        assign, weights=model.util, minlength=model.n_nodes
+    )
+    order = sorted(
+        range(len(model.names)), key=lambda c: (-model.power_w[c], c)
+    )
+    for c in order:
+        cur = int(assign[c])
+        mates = model.flow == model.flow[c]
+        mates[c] = False
+        mate_nodes = np.zeros(model.n_nodes, dtype=bool)
+        mate_nodes[assign[mates]] = True
+        delta = model.move_cost_j[c].copy()
+        if counts[cur] == 1:
+            # Leaving would park the source node; staying forgoes it.
+            delta = delta - model.vacate_gain_j[cur]
+            delta[cur] += model.vacate_gain_j[cur]
+        delta = delta - model.colocation_gain_j * mate_nodes
+        feasible = (counts < model.capacity) & (
+            util_n + model.util[c] <= model.headroom
+        )
+        feasible[cur] = True
+        delta[~feasible] = np.inf
+        best = int(np.argmin(delta))
+        if best != cur and delta[best] < delta[cur]:
+            assign[c] = best
+            counts[cur] -= 1
+            counts[best] += 1
+            util_n[cur] -= model.util[c]
+            util_n[best] += model.util[c]
+    return assign
+
+
+class PlacementPolicy:
+    """Shared construction for the registered policies."""
+
+    def __init__(
+        self,
+        *,
+        fleet: Any,
+        routing: RoutingTable,
+        global_nodes: list[tuple[str, int]],
+        global_index: Mapping[tuple[str, int], int],
+        interval_s: float,
+        seed: int,
+    ):
+        self.fleet = fleet
+        self.routing = routing
+        self.global_nodes = list(global_nodes)
+        self.global_index = dict(global_index)
+        self.interval_s = float(interval_s)
+        self.seed = int(seed)
+
+    def desired(
+        self,
+        *,
+        cycle: int,
+        names: list[str],
+        summaries: Mapping[str, Any],
+        placement: Mapping[str, tuple[str, int]],
+        counts: list[int],
+        node_info: Mapping[tuple[str, int], Any],
+    ) -> dict[str, int] | None:
+        """The fleet-wide desired placement, or ``None`` to skip."""
+        raise NotImplementedError
+
+    def _model(self, names, summaries, placement, counts, node_info):
+        return build_model(
+            fleet=self.fleet,
+            routing=self.routing,
+            global_nodes=self.global_nodes,
+            global_index=self.global_index,
+            interval_s=self.interval_s,
+            names=names,
+            summaries=summaries,
+            placement=placement,
+            counts=counts,
+            node_info=node_info,
+        )
+
+
+@PLACEMENTS.register("watermark")
+class WatermarkPlacement(PlacementPolicy):
+    """The original coordinator policy: flow-affine consolidation."""
+
+    def desired(
+        self, *, cycle, names, summaries, placement, counts, node_info
+    ) -> dict[str, int] | None:
+        mig = self.fleet.migration
+        chains = [summaries[n] for n in names]
+        flow_paths = {n: [summaries[n].flow] for n in names}
+        try:
+            return consolidation_plan(
+                chains,
+                flow_paths,
+                len(self.global_nodes),
+                capacity=mig.capacity_per_node,
+            )
+        except ValueError:
+            # More chains than the capacity model admits (transient
+            # churn overshoot): skip consolidation this cycle.
+            return None
+
+
+@PLACEMENTS.register("greedy")
+class GreedyPlacement(PlacementPolicy):
+    """LP-shaped greedy over the routed-energy model (topology-aware)."""
+
+    def desired(
+        self, *, cycle, names, summaries, placement, counts, node_info
+    ) -> dict[str, int] | None:
+        model = self._model(names, summaries, placement, counts, node_info)
+        assign = greedy_assign(model)
+        return {name: int(assign[c]) for c, name in enumerate(model.names)}
+
+
+@PLACEMENTS.register("genetic")
+class GeneticPlacement(PlacementPolicy):
+    """Generational search over whole assignments (SNIPPETS.md §3 shape)."""
+
+    population = 24
+    generations = 10
+    elite = 6
+    seed_mutation = 0.25
+    mutation = 0.08
+
+    def desired(
+        self, *, cycle, names, summaries, placement, counts, node_info
+    ) -> dict[str, int] | None:
+        model = self._model(names, summaries, placement, counts, node_info)
+        n_chains, n_nodes = len(model.names), model.n_nodes
+        rng = interval_stream(self.seed, "fleet/placement/genetic", cycle)
+        pop = np.tile(model.cur, (self.population, 1))
+        pop[1] = greedy_assign(model)
+        scatter = rng.random((self.population - 2, n_chains)) < self.seed_mutation
+        pop[2:][scatter] = rng.integers(0, n_nodes, size=int(scatter.sum()))
+        n_children = self.population - self.elite
+        for _ in range(self.generations):
+            order = np.argsort(self._fitness(model, pop), kind="stable")
+            elite = pop[order[: self.elite]]
+            pa = rng.integers(0, self.elite, size=n_children)
+            pb = rng.integers(0, self.elite, size=n_children)
+            take_a = rng.random((n_children, n_chains)) < 0.5
+            children = np.where(take_a, elite[pa], elite[pb])
+            mutate = rng.random((n_children, n_chains)) < self.mutation
+            children[mutate] = rng.integers(0, n_nodes, size=int(mutate.sum()))
+            pop = np.concatenate([elite, children])
+        best = pop[int(np.argmin(self._fitness(model, pop)))]
+        return {name: int(best[c]) for c, name in enumerate(model.names)}
+
+    def _fitness(self, model: PlacementModel, pop: np.ndarray) -> np.ndarray:
+        """Vectorized routed-energy estimate of a ``(P, C)`` population.
+
+        Lower is better: routed move costs, minus vacated-node and
+        co-location savings, plus hard penalties for capacity overflow
+        and SLA-headroom strain — the whole population at once, no
+        per-individual Python.
+        """
+        cols = np.arange(pop.shape[1])
+        moved = pop != model.cur[None, :]
+        cost = (model.move_cost_j[cols[None, :], pop] * moved).sum(axis=1)
+        occupancy = pop[:, :, None] == np.arange(model.n_nodes)[None, None, :]
+        node_counts = occupancy.sum(axis=1) + model.extern[None, :]
+        overflow = np.clip(node_counts - model.capacity, 0, None).sum(axis=1)
+        util_n = (occupancy * model.util[None, :, None]).sum(axis=1)
+        util_n = util_n + model.extern_util[None, :]
+        strain = np.clip(util_n - model.headroom, 0.0, None).sum(axis=1)
+        saved = ((node_counts == 0) * model.vacate_gain_j[None, :]).sum(axis=1)
+        same_flow = (model.flow[:, None] == model.flow[None, :]) & ~np.eye(
+            pop.shape[1], dtype=bool
+        )
+        mated = (
+            same_flow[None, :, :] & (pop[:, :, None] == pop[:, None, :])
+        ).any(axis=2)
+        bonus = model.colocation_gain_j * mated.sum(axis=1)
+        return cost - saved - bonus + _INFEASIBLE_J * (overflow + strain)

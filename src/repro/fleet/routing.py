@@ -1,0 +1,194 @@
+"""Vectorized path math over the fleet's inter-shard link graph.
+
+A :class:`RoutingTable` compiles a :class:`~repro.fleet.topology.FleetTopology`
+into dense all-pairs arrays: shortest-path latency, per-path bottleneck
+bandwidth, hop counts, next-hop successors and the summed reciprocal
+bandwidth along each path — everything the coordinator's migration cost
+model and the placement searchers need, batched in numpy instead of
+per-pair graph walks.
+
+The compile is a vectorized Floyd–Warshall: each relaxation round ``k``
+updates all ``S x S`` pairs at once under a single strict-improvement
+mask (``alt < dist``), so a direct edge is never displaced by an
+equal-latency multi-hop detour and the tables are deterministic in the
+shard order of the topology.  :meth:`RoutingTable.k_alternatives` then
+derives the ``k`` best one-via deviations per pair from the same arrays
+with one ``(S, S, S)`` tensor and a partition — no per-pair Python.
+
+Exactness note: :meth:`path_links` reconstructs a path as its actual
+:class:`~repro.fleet.topology.InterShardLink` hops, so callers that need
+bit-reproducible energy accounting (the coordinator's ``_score_move``)
+sum per-hop floats in hop order; the dense matrices are for batched
+scoring where a vectorized estimate is the point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.topology import FleetTopology, InterShardLink
+
+
+class RoutingTable:
+    """All-pairs routed paths for one topology, as dense numpy arrays.
+
+    Attributes (all ``(S, S)`` for ``S`` shards, diagonal = self):
+
+    * ``latency_s`` — shortest-path latency (sum of edge latencies);
+    * ``bottleneck_gbps`` — thinnest edge along that path (``inf`` on
+      the diagonal);
+    * ``hops`` — edge count of the path (0 on the diagonal);
+    * ``inv_gbps_sum`` — sum of ``1/gbps`` over the path's edges (the
+      per-byte serialization weight of the whole path);
+    * ``next_hop`` — successor matrix: ``next_hop[i, j]`` is the first
+      shard index after ``i`` on the path to ``j``.
+    """
+
+    def __init__(self, topology: FleetTopology):
+        self.topology = topology
+        names = tuple(s.name for s in topology.shards)
+        self.shard_names = names
+        self._index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        lat = np.full((n, n), np.inf)
+        gbw = np.zeros((n, n))
+        for link in topology.edges():
+            a, b = self._index[link.a], self._index[link.b]
+            lat[a, b] = lat[b, a] = link.latency_s
+            gbw[a, b] = gbw[b, a] = link.gbps
+        self._compile_tables(lat, gbw)
+
+    # -- compile -----------------------------------------------------------
+
+    def _compile_tables(self, lat: np.ndarray, gbw: np.ndarray) -> None:
+        """Vectorized Floyd–Warshall over the adjacency arrays.
+
+        All five tables relax under one strict-improvement mask, so they
+        stay mutually consistent (the bottleneck/hop/reciprocal entries
+        always describe the same path the latency entry priced).
+        """
+        n = lat.shape[0]
+        dist = lat.copy()
+        np.fill_diagonal(dist, 0.0)
+        idx = np.arange(n)
+        nxt = np.where(np.isfinite(lat), idx[None, :], -1)
+        nxt[idx, idx] = idx
+        hops = np.where(np.isfinite(lat), 1, 0)
+        np.fill_diagonal(hops, 0)
+        bneck = np.where(gbw > 0.0, gbw, 0.0)
+        np.fill_diagonal(bneck, np.inf)
+        inv = np.where(gbw > 0.0, 1.0 / np.where(gbw > 0.0, gbw, 1.0), np.inf)
+        np.fill_diagonal(inv, 0.0)
+        for k in range(n):  # repro-lint: allow[KRN002] Floyd–Warshall relaxation rounds are inherently sequential in k; each round is a fully vectorized S x S update
+            alt = dist[:, k, None] + dist[None, k, :]
+            better = alt < dist
+            dist = np.where(better, alt, dist)
+            nxt = np.where(better, nxt[:, k, None], nxt)
+            hops = np.where(better, hops[:, k, None] + hops[None, k, :], hops)
+            bneck = np.where(
+                better, np.minimum(bneck[:, k, None], bneck[None, k, :]), bneck
+            )
+            inv = np.where(better, inv[:, k, None] + inv[None, k, :], inv)
+        off_diag = ~np.eye(n, dtype=bool)
+        if n > 1 and not np.isfinite(dist[off_diag]).all():
+            # Topology validation rejects disconnected graphs before a
+            # table is ever built; this guards direct misuse.
+            raise ValueError("topology graph is disconnected; cannot route")
+        self.latency_s = dist
+        self.next_hop = nxt
+        self.hops = hops
+        self.bottleneck_gbps = bneck
+        self.inv_gbps_sum = inv
+
+    # -- lookups -----------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards (vertices) in the table."""
+        return len(self.shard_names)
+
+    def index(self, shard: str) -> int:
+        """Dense index of a shard name."""
+        try:
+            return self._index[shard]
+        except KeyError:
+            raise KeyError(
+                f"no shard {shard!r}; shards: {list(self.shard_names)}"
+            ) from None
+
+    def path(self, src: str, dst: str) -> tuple[str, ...]:
+        """The routed shard sequence from ``src`` to ``dst``, inclusive."""
+        i, j = self.index(src), self.index(dst)
+        names = self.shard_names
+        out = [names[i]]
+        while i != j:
+            i = int(self.next_hop[i, j])
+            out.append(names[i])
+        return tuple(out)
+
+    def path_links(self, src: str, dst: str) -> tuple[InterShardLink, ...]:
+        """The actual links along the routed path, in hop order.
+
+        Every consecutive pair on a routed path is adjacent by
+        construction, so ``link_between`` resolves each hop exactly —
+        this is the bit-reproducible view the migration cost model sums.
+        """
+        hops = self.path(src, dst)
+        return tuple(
+            self.topology.link_between(a, b) for a, b in zip(hops, hops[1:])
+        )
+
+    def path_latency_s(self, src: str, dst: str) -> float:
+        """Shortest-path latency between two shards."""
+        return float(self.latency_s[self.index(src), self.index(dst)])
+
+    def path_bottleneck_gbps(self, src: str, dst: str) -> float:
+        """Bottleneck bandwidth of the shortest path between two shards."""
+        return float(self.bottleneck_gbps[self.index(src), self.index(dst)])
+
+    def transfer_seconds(self, src: str, dst: str, n_bytes: float) -> float:
+        """Routed wire time for ``n_bytes``: per-hop serialization + path latency.
+
+        Each hop serializes the payload at its own link rate, so the
+        transfer integrates ``bytes * 8 / gbps`` over the path (the
+        precompiled ``inv_gbps_sum``) before adding the path latency.
+        """
+        i, j = self.index(src), self.index(dst)
+        return float(
+            n_bytes * 8.0 / 1e9 * self.inv_gbps_sum[i, j]
+            + self.latency_s[i, j]
+        )
+
+    # -- k-shortest alternatives -------------------------------------------
+
+    def k_alternatives(self, k: int) -> np.ndarray:
+        """Latencies of the ``k`` best one-via deviations, per pair.
+
+        Returns an ``(S, S, k)`` array whose ``[i, j]`` slice holds, in
+        ascending order, the shortest-path latency followed by the
+        ``k - 1`` cheapest alternatives of the form "shortest path to a
+        via shard ``m``, then shortest path onward" with ``m`` neither
+        endpoint.  This is the standard one-deviation relaxation of
+        k-shortest paths — enough to price how much slack a pair has if
+        its primary path saturates — computed as one ``(S, S, S)``
+        tensor plus a partition, with no per-pair Python.  Slots beyond
+        the available distinct vias are ``inf``.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        d = self.latency_s
+        n = d.shape[0]
+        via = d[:, None, :] + d.T[None, :, :]
+        idx = np.arange(n)
+        via[idx, :, idx] = np.inf
+        via[:, idx, idx] = np.inf
+        m = min(k - 1, n)
+        if m > 0:
+            alts = np.partition(via, m - 1, axis=2)[:, :, :m]
+            alts.sort(axis=2)
+        else:
+            alts = np.empty((n, n, 0))
+        out = np.full((n, n, k), np.inf)
+        out[:, :, 0] = d
+        out[:, :, 1 : 1 + m] = alts
+        return out

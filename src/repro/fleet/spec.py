@@ -9,7 +9,9 @@ so a fleet spec cannot disagree with its scenario about them.
 
 :data:`FLEETS` is the fleet-preset registry: named, ready-to-run fleet
 sections (``{"preset": "small"}`` in a spec's ``fleet:`` dict resolves
-through it, with any sibling keys overriding the preset's values).
+through it, with any sibling keys overriding the preset's values;
+nested sections like ``migration`` deep-merge field-by-field, so a
+partial override keeps the preset's other fields).
 """
 
 from __future__ import annotations
@@ -56,6 +58,9 @@ class MigrationConfig:
     amortize_intervals: int = 32
     link_power_w: float = 25.0
     setup_j: float = 5.0
+    #: Routed-path SLA bound: veto any migration whose shortest-path
+    #: latency exceeds this (0 = unbounded, the pre-graph behavior).
+    max_path_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.budget_per_cycle < 0:
@@ -78,6 +83,8 @@ class MigrationConfig:
             raise ValueError("link power must be >= 0")
         if self.setup_j < 0:
             raise ValueError("setup energy must be >= 0")
+        if self.max_path_latency_s < 0:
+            raise ValueError("max path latency must be >= 0 (0 = unbounded)")
 
 
 @dataclass(frozen=True)
@@ -115,6 +122,25 @@ def _config_dict(obj) -> dict[str, Any]:
     return {k: getattr(obj, k) for k in obj.__dataclass_fields__}
 
 
+#: Nested config sections that deep-merge field-by-field over a preset.
+_NESTED_SECTIONS = ("workload", "migration", "steering", "topology")
+
+
+def _merge_section(base: Mapping[str, Any], override: Mapping[str, Any]) -> dict:
+    """Recursive field-by-field merge of one nested config section.
+
+    Mapping values merge recursively (``workload.churn`` overrides keep
+    the preset's other churn fields); anything else replaces.
+    """
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, Mapping) and isinstance(merged.get(key), Mapping):
+            merged[key] = _merge_section(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
 @dataclass(frozen=True)
 class FleetSpec:
     """One complete, serializable fleet-run description."""
@@ -132,6 +158,9 @@ class FleetSpec:
     #: boundary later — bounded staleness).
     pipeline_depth: int = 1
     backend: str = "local"
+    #: Which :data:`~repro.fleet.placement.PLACEMENTS` policy proposes
+    #: the fleet-wide desired placement each cycle.
+    placement: str = "watermark"
 
     def __post_init__(self) -> None:
         if self.cycles < 1:
@@ -145,6 +174,15 @@ class FleetSpec:
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown fleet backend {self.backend!r}; options: {BACKENDS}"
+            )
+        # Imported here: the placement module depends on the routing /
+        # workload layers, not the other way around.
+        from repro.fleet.placement import PLACEMENTS
+
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement policy {self.placement!r}; "
+                f"options: {PLACEMENTS.names()}"
             )
 
     @property
@@ -169,6 +207,7 @@ class FleetSpec:
             "sync_every": self.sync_every,
             "pipeline_depth": self.pipeline_depth,
             "backend": self.backend,
+            "placement": self.placement,
         }
 
     @classmethod
@@ -177,6 +216,15 @@ class FleetSpec:
 
         ``{"preset": "small", ...}`` resolves the named :data:`FLEETS`
         preset first; any sibling keys override the preset's values.
+        The nested config sections (:data:`_NESTED_SECTIONS`) merge
+        **field-by-field** over the preset's: ``{"preset": "small",
+        "migration": {"budget_per_cycle": 1}}`` keeps the small preset's
+        ``capacity_per_node=4`` and only overrides the budget.  (A
+        shallow ``dict.update`` here used to silently reset every
+        sibling field of a partially-overridden section to the dataclass
+        defaults.)  A ``topology`` override carrying its own ``preset``
+        key replaces the section wholesale — a named topology supersedes
+        whatever graph the fleet preset shipped.
         """
         if not isinstance(data, Mapping):
             raise ValueError(
@@ -189,7 +237,16 @@ class FleetSpec:
                 base = dict(FLEETS.get(preset)())
             except KeyError as exc:
                 raise ValueError(str(exc).strip('"')) from None
-            base.update(data)
+            for key, value in data.items():
+                if (
+                    key in _NESTED_SECTIONS
+                    and isinstance(value, Mapping)
+                    and isinstance(base.get(key), Mapping)
+                    and "preset" not in value
+                ):
+                    base[key] = _merge_section(base[key], value)
+                else:
+                    base[key] = value
             data = base
         known = set(cls.__dataclass_fields__)
         unknown = sorted(set(data) - known)
@@ -253,6 +310,32 @@ def _medium() -> dict[str, Any]:
             ),
         ).to_dict(),
         "cycles": 8,
+        "sync_every": 4,
+    }
+
+
+@FLEETS.register("wan")
+def _wan() -> dict[str, Any]:
+    """4 WAN sites on a ring + express chord — routed multi-hop migrations.
+
+    Thin, long-haul links make cross-site transfers expensive and most
+    site pairs non-adjacent, so migration costs are dominated by the
+    routed path (hop count, bottleneck bandwidth) rather than the flat
+    full-mesh link — the shape the topology-aware placement baselines
+    are measured on.
+    """
+    return {
+        "topology": FleetTopology.wan(4, nodes=2, chains_per_node=2).to_dict(),
+        "workload": WorkloadConfig(
+            peak_rate_pps=1.2e6,
+            period_s=64.0,
+            flash=FlashCrowdConfig(probability=0.05, multiplier=2.5),
+            churn=ChurnConfig(
+                arrivals_per_cycle=0.5, departure_prob=0.1, max_chains=24
+            ),
+        ).to_dict(),
+        "migration": _config_dict(MigrationConfig(capacity_per_node=4)),
+        "cycles": 6,
         "sync_every": 4,
     }
 

@@ -124,6 +124,19 @@ def fleet_small() -> ScenarioSpec:
     )
 
 
+@SCENARIOS.register("fleet-wan")
+def fleet_wan() -> ScenarioSpec:
+    """4 WAN sites on a ring + express chord: routed multi-hop migrations."""
+    return ScenarioSpec(
+        name="fleet-wan",
+        sla="energy_efficiency",
+        controller="static",
+        traffic="line_rate",
+        fleet={"preset": "wan"},
+        seed=11,
+    )
+
+
 @SCENARIOS.register("fleet-datacenter")
 def fleet_datacenter() -> ScenarioSpec:
     """The 4 x 8 x 4 datacenter fleet (the ``fleet_scale`` bench shape)."""

@@ -651,3 +651,233 @@ class TestFleetCli:
         out = capsys.readouterr().out
         assert "fleet-small" in out
         assert "datacenter" in out
+
+
+# -- preset deep-merge ---------------------------------------------------------
+
+
+class TestPresetDeepMerge:
+    """Partial overrides of nested sections keep the preset's siblings.
+
+    The regression: ``from_mapping`` used to shallow-``update`` over the
+    preset, so ``{"migration": {"budget_per_cycle": 1}}`` silently reset
+    the wan preset's ``capacity_per_node=4`` back to the dataclass
+    default.
+    """
+
+    def test_migration_partial_override(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "wan", "migration": {"budget_per_cycle": 1}}
+        )
+        assert spec.migration.budget_per_cycle == 1
+        assert spec.migration.capacity_per_node == 4  # preset, not default
+
+    def test_workload_partial_override(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "wan", "workload": {"period_s": 32.0}}
+        )
+        assert spec.workload.period_s == 32.0
+        assert spec.workload.peak_rate_pps == 1.2e6
+        assert spec.workload.flash.probability == 0.05
+
+    def test_nested_nested_churn_override(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "wan", "workload": {"churn": {"departure_prob": 0.3}}}
+        )
+        assert spec.workload.churn.departure_prob == 0.3
+        assert spec.workload.churn.arrivals_per_cycle == 0.5
+        assert spec.workload.churn.max_chains == 24
+        assert spec.workload.peak_rate_pps == 1.2e6
+
+    def test_steering_partial_override(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "small", "steering": {"high_watermark": 0.8}}
+        )
+        assert spec.steering.high_watermark == 0.8
+        assert spec.steering.low_watermark == 0.25
+        assert spec.steering.enabled
+
+    def test_topology_partial_override(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "small", "topology": {"default_link_latency_s": 0.01}}
+        )
+        assert spec.topology.default_link_latency_s == 0.01
+        assert spec.topology.n_shards == 2  # preset's shards survive
+        assert spec.topology.default_link_gbps == 40.0
+
+    def test_topology_preset_replaces_wholesale(self):
+        spec = FleetSpec.from_mapping(
+            {"preset": "small", "topology": {"preset": "wan", "n_sites": 4}}
+        )
+        assert spec.topology == FleetTopology.wan(4)
+
+    def test_scalar_override_still_replaces(self):
+        spec = FleetSpec.from_mapping({"preset": "wan", "cycles": 3})
+        assert spec.cycles == 3
+
+
+# -- migration scoring ---------------------------------------------------------
+
+
+class TestPlacementBook:
+    """Co-location reads the authoritative placement book, not telemetry.
+
+    On the pipelined path the gathered summaries lag one cycle: a
+    flow-mate migrated by the previous plan still *reports* its old
+    node.  The regression: ``_score_move`` used to read ``(other.shard,
+    other.node)`` from the stale summary, paying (or withholding) the
+    LLC-affinity bonus at the wrong node for one cycle after every
+    migration.
+    """
+
+    @pytest.fixture()
+    def coordinator(self):
+        fleet = FleetSpec.from_mapping(
+            {
+                "topology": FleetTopology.uniform(
+                    2, nodes=2, chains_per_node=1
+                ).to_dict(),
+            }
+        )
+        return FleetCoordinator(fleet, seed=0)
+
+    def _summary(self, name, shard, node, flow="fg0"):
+        from repro.fleet.shard import ChainSummary
+
+        return ChainSummary(
+            name=name,
+            shard=shard,
+            node=node,
+            flow=flow,
+            nfs=("firewall",),
+            utilization=0.2,
+            throughput_gbps=1.0,
+            power_w=20.0,
+            offered_pps=1e5,
+            sla_ok=True,
+            state_bytes=2e8,
+            dma_bytes=5e7,
+            knobs={},
+        )
+
+    def test_bonus_follows_book_one_cycle_after_migration(self, coordinator):
+        # Mate "b" migrated to ("s1", 0) last cycle; its summary is one
+        # cycle stale and still claims ("s0", 1).  Moving "a" to the
+        # book's node must earn the co-location bonus.
+        mig = coordinator.fleet.migration
+        summaries = {
+            "a": self._summary("a", "s0", 0),
+            "b": self._summary("b", "s0", 1),  # stale telemetry
+        }
+        placement = {"a": ("s0", 0), "b": ("s1", 0)}  # authoritative
+        cur = coordinator._global_index[("s0", 0)]
+        dst = coordinator._global_index[("s1", 0)]
+        counts = [0] * len(coordinator._global_nodes)
+        counts[cur] = 2  # not a lone chain: isolate the bonus term
+        gain, _cost, reason, _path = coordinator._score_move(
+            summaries["a"], ("s0", 0), cur, dst, counts, summaries, {},
+            placement,
+        )
+        assert reason == "colocate"
+        assert gain == mig.colocation_gain_j
+
+    def test_stale_summary_location_earns_no_bonus(self, coordinator):
+        # The inverse: "b"'s stale summary claims the destination node,
+        # but the book knows it already moved away — no bonus.
+        summaries = {
+            "a": self._summary("a", "s0", 0),
+            "b": self._summary("b", "s1", 0),  # stale telemetry
+        }
+        placement = {"a": ("s0", 0), "b": ("s0", 1)}  # authoritative
+        cur = coordinator._global_index[("s0", 0)]
+        dst = coordinator._global_index[("s1", 0)]
+        counts = [0] * len(coordinator._global_nodes)
+        counts[cur] = 2
+        gain, _cost, _reason, _path = coordinator._score_move(
+            summaries["a"], ("s0", 0), cur, dst, counts, summaries, {},
+            placement,
+        )
+        assert gain == 0.0
+
+
+class TestRoutedCosts:
+    """Cross-shard migration costs integrate over the routed path."""
+
+    @pytest.fixture()
+    def coordinator(self):
+        fleet = FleetSpec.from_mapping(
+            {
+                "topology": FleetTopology.wan(
+                    6, nodes=1, chains_per_node=1
+                ).to_dict(),
+            }
+        )
+        return FleetCoordinator(fleet, seed=0)
+
+    def _score(self, coordinator, dst_shard):
+        from repro.fleet.shard import ChainSummary
+
+        chain = ChainSummary(
+            name="c",
+            shard="site1",
+            node=0,
+            flow="fg0",
+            nfs=("firewall",),
+            utilization=0.2,
+            throughput_gbps=1.0,
+            power_w=20.0,
+            offered_pps=1e5,
+            sla_ok=True,
+            state_bytes=2e8,
+            dma_bytes=5e7,
+            knobs={},
+        )
+        cur = coordinator._global_index[("site1", 0)]
+        dst = coordinator._global_index[(dst_shard, 0)]
+        counts = [0] * len(coordinator._global_nodes)
+        counts[cur] = 2
+        return chain, coordinator._score_move(
+            chain, ("site1", 0), cur, dst, counts, {"c": chain}, {},
+            {"c": ("site1", 0)},
+        )
+
+    def test_multi_hop_costs_more_than_single_hop_model(self, coordinator):
+        mig = coordinator.fleet.migration
+        chain, (_gain, cost, _reason, path) = self._score(
+            coordinator, "site5"
+        )
+        # site1 -> site5 rides two ring links via site0.
+        assert path == ("site1", "site0", "site5")
+        payload = chain.state_bytes + chain.dma_bytes
+        expected = mig.setup_j
+        for link in coordinator._routing.path_links("site1", "site5"):
+            expected += (
+                payload * 8.0 / (link.gbps * 1e9) + link.latency_s
+            ) * mig.link_power_w
+        assert cost == expected
+        # The pre-graph flat model would price this as one direct hop.
+        link = coordinator.fleet.topology.link_between("site0", "site1")
+        single_hop = (
+            mig.setup_j
+            + (payload * 8.0 / (link.gbps * 1e9) + link.latency_s)
+            * mig.link_power_w
+        )
+        assert cost > single_hop * 1.5
+
+    def test_adjacent_hop_reproduces_flat_model(self, coordinator):
+        mig = coordinator.fleet.migration
+        chain, (_gain, cost, _reason, path) = self._score(
+            coordinator, "site2"
+        )
+        assert path == ("site1", "site2")
+        link = coordinator.fleet.topology.link_between("site1", "site2")
+        assert cost == (
+            mig.setup_j
+            + (
+                (chain.state_bytes + chain.dma_bytes)
+                * 8.0
+                / (link.gbps * 1e9)
+                + link.latency_s
+            )
+            * mig.link_power_w
+        )
