@@ -31,7 +31,11 @@ PRs:
 * ``replay_add_sample`` — prioritized add/sample/update against the
   seed's list + per-leaf-walk implementation (kept in ``reference.py``);
 * ``training_slice`` — a short end-to-end DDPG run vs. the same run with
-  seed-style replay and per-episode platform rebuilds (criterion: >= 2x).
+  seed-style replay and per-episode platform rebuilds (criterion: >= 2x);
+* ``obs_overhead`` — the tracing-off cost of the ``repro.obs``
+  instrumentation, expressed as a percentage of one fleet cycle: per-call
+  disabled-path cost (null span + guarded counter) times the calls one
+  instrumented cycle actually makes (criterion: < 2% overhead).
 
 Usage::
 
@@ -594,6 +598,68 @@ def bench_training_slice(quick: bool, rounds: int) -> dict:
     }
 
 
+def bench_obs_overhead(quick: bool, rounds: int) -> dict:
+    """Tracing-off cost of the observability hooks (criterion: < 2%).
+
+    The ``repro.obs`` contract is that disabled instrumentation is
+    compiled out of the hot loops: a module-global check plus, at span
+    sites, one no-op context manager.  Measured as:
+
+    * ``per_call_ns`` — the disabled path's cost per instrumentation
+      call (a ``with obs.span(...)`` over the shared null span plus a
+      guarded counter bump), microbenched in isolation;
+    * ``calls_per_cycle`` — how many such calls one coordinator cycle of
+      a ``small`` fleet actually makes, counted by running a cycle with
+      tracing enabled (buffered) and draining the events/counters;
+    * ``overhead_pct`` — their product over the tracing-off cycle wall
+      time.  ``criterion_max_overhead_pct`` pins it below 2%.
+    """
+    from repro import obs
+    from repro.fleet import FLEETS, FleetCoordinator, FleetSpec
+
+    # Per-call disabled cost: the null-span with plus the guard branch.
+    n = 50_000 if quick else 200_000
+    obs.disable()
+
+    def disabled_calls():
+        for i in range(n):
+            with obs.span("bench/x", i=i):
+                pass
+            if obs._ENABLED:
+                obs.inc("bench/c")
+
+    unit_s = _best_of(disabled_calls, max(3, rounds)) / n
+
+    fleet = FleetSpec.from_mapping(FLEETS.get("small")())
+    coordinator = FleetCoordinator(fleet, seed=7, backend="local")
+    try:
+        coordinator.run_cycles(1)  # warm: kernels compile
+        # Count the instrumentation calls one cycle makes (span enter +
+        # exit per event; counter bumps from the drained deltas — an
+        # overcount for multi-increment bumps, i.e. conservative).
+        obs.enable()
+        try:
+            coordinator.run_cycles(1)
+            events = obs.drain_events()
+            counters = obs.drain_counters()
+        finally:
+            obs.disable()
+        calls = 2 * len(events) + int(sum(counters.values()))
+        cycle_s = _best_of(lambda: coordinator.run_cycles(1), max(3, rounds))
+    finally:
+        obs.disable()
+        coordinator.close()
+    overhead_pct = 100.0 * calls * unit_s / cycle_s
+    return {
+        "seconds": cycle_s,
+        "per_call_ns": unit_s * 1e9,
+        "calls_per_cycle": calls,
+        "trace_events_per_cycle": len(events),
+        "overhead_pct": overhead_pct,
+        "criterion_max_overhead_pct": 2.0,
+    }
+
+
 BENCHES = {
     "engine_step": bench_engine_step,
     "engine_batch_grid": bench_engine_batch_grid,
@@ -604,6 +670,7 @@ BENCHES = {
     "fleet_routing": bench_fleet_routing,
     "replay_add_sample": bench_replay,
     "training_slice": bench_training_slice,
+    "obs_overhead": bench_obs_overhead,
 }
 
 
@@ -649,6 +716,18 @@ def check_against(result: dict, baseline: dict, max_slowdown: float) -> list[str
             problems.append(
                 f"{name}: speedup {speedup:.2f}x below the {criterion:.0f}x criterion"
             )
+        max_overhead = bench.get("criterion_max_overhead_pct")
+        overhead = bench.get("overhead_pct")
+        if (
+            max_overhead is not None
+            and overhead is not None
+            and not bench.get("criterion_waived")
+            and overhead > max_overhead
+        ):
+            problems.append(
+                f"{name}: tracing-off overhead {overhead:.3f}% above the "
+                f"{max_overhead:.1f}% budget"
+            )
         base = baseline.get("benches", {}).get(name)
         if base is None:
             continue
@@ -677,6 +756,11 @@ def history_record(result: dict, pr: str) -> dict:
             name: {
                 "seconds": bench["seconds"],
                 "speedup": bench.get("speedup"),
+                **(
+                    {"overhead_pct": bench["overhead_pct"]}
+                    if "overhead_pct" in bench
+                    else {}
+                ),
             }
             for name, bench in result["benches"].items()
         },

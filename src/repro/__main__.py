@@ -8,6 +8,7 @@ Subcommands::
     python -m repro fleet <spec.json | preset> # sharded multi-cluster fleet
     python -m repro fig <id> [--quick]         # a paper-figure harness
     python -m repro lint [--strict] [--json]   # determinism static analysis
+    python -m repro top <trace> [--replay]     # dashboard over a --trace file
     python -m repro list                       # everything runnable
 
 Figure ids are the paper's figures (fig1..fig4, fig6..fig11) plus the
@@ -47,7 +48,31 @@ from repro.scenario import (
 )
 from repro.utils.tables import render_table
 
-_SUBCOMMANDS = ("run", "sweep", "scan", "fleet", "fig", "lint", "list")
+_SUBCOMMANDS = ("run", "sweep", "scan", "fleet", "fig", "lint", "top", "list")
+
+
+def _tracing(trace_path):
+    """Context manager arming :mod:`repro.obs` for one CLI invocation.
+
+    A no-op (instrumentation stays compiled out) when ``trace_path`` is
+    falsy; otherwise spans/metrics stream to the given Chrome-trace
+    JSONL file and are flushed/closed on the way out, crash included.
+    """
+    import contextlib
+
+    if not trace_path:
+        return contextlib.nullcontext()
+    from repro import obs
+
+    @contextlib.contextmanager
+    def _armed():
+        obs.enable(trace_path=trace_path)
+        try:
+            yield
+        finally:
+            obs.disable()
+
+    return _armed()
 
 
 def _load_spec(source: str) -> ScenarioSpec:
@@ -108,10 +133,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         spec = spec.with_updates(seed=args.seed)
     if args.quick:
         spec = quick_spec(spec)
-    result = run(spec, out_path=args.out)
+    with _tracing(args.trace):
+        result = run(spec, out_path=args.out)
     _print_result_summary(result)
     if args.out:
         print(f"\n(result written to {args.out})")
+    if args.trace:
+        print(f"(trace written to {args.trace}; view with 'repro top' "
+              "or https://ui.perfetto.dev)")
     return 0
 
 
@@ -195,14 +224,15 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         spec = spec.with_updates(seed=args.seed)
     if args.quick:
         spec = quick_spec(spec)
-    result = run_fleet(
-        spec,
-        backend=args.backend,
-        cycles=args.cycles,
-        pipeline_depth=args.pipeline_depth,
-        placement=args.placement,
-        out_path=args.out,
-    )
+    with _tracing(args.trace):
+        result = run_fleet(
+            spec,
+            backend=args.backend,
+            cycles=args.cycles,
+            pipeline_depth=args.pipeline_depth,
+            placement=args.placement,
+            out_path=args.out,
+        )
     t = result.totals
     fleet = result.fleet
     shards = fleet["topology"]["shards"]
@@ -232,6 +262,9 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     if args.out:
         print(f"\n(fleet artifact written to {args.out})")
+    if args.trace:
+        print(f"(trace written to {args.trace}; view with 'repro top' "
+              "or https://ui.perfetto.dev)")
     return 0
 
 
@@ -262,6 +295,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.cli import run_lint_cli
 
     return run_lint_cli(args)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    # Deferred import: the dashboard only matters when asked for.
+    from repro.obs.dashboard import run_top_cli
+
+    return run_top_cli(args)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -300,6 +340,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", default=None, help="write the result JSON here")
     p_run.add_argument("--seed", type=int, default=None, help="override the seed")
     p_run.add_argument("--quick", action="store_true", help="reduced budgets")
+    p_run.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Chrome-trace JSONL of the run (Perfetto-loadable; "
+             "see 'repro top')",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="run many scenarios in parallel")
@@ -381,6 +426,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fleet.add_argument(
         "--out", default=None, help="write the fleet result JSON here"
     )
+    p_fleet.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a Chrome-trace JSONL of the run, shard-worker spans "
+             "included (Perfetto-loadable; see 'repro top')",
+    )
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_fig = sub.add_parser("fig", help="run a paper-figure harness")
@@ -400,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_top = sub.add_parser(
+        "top", help="live/replay text dashboard over a --trace file"
+    )
+    from repro.obs.dashboard import add_top_arguments
+
+    add_top_arguments(p_top)
+    p_top.set_defaults(func=_cmd_top)
 
     p_list = sub.add_parser("list", help="list experiments, presets, registries")
     p_list.set_defaults(func=_cmd_list)

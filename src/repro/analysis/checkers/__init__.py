@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis.checkers import (  # noqa: F401  (import = register)
     hygiene,
     kernel,
+    obs,
     protocol,
     rng,
     wallclock,

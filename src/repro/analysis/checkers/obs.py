@@ -1,0 +1,149 @@
+"""Observability discipline: spans are scoped, hot paths stay dark.
+
+The :mod:`repro.obs` contract (see its module docstring) only holds if
+call sites follow two mechanical rules:
+
+* ``OBS001`` (span form) — every ``obs.span(...)`` call is opened as a
+  ``with`` context manager.  A span that is created but never entered
+  silently records nothing (the event is emitted from ``__exit__``), and
+  a manually entered span that leaks on an exception corrupts the
+  nesting the trace viewer reconstructs.
+* ``OBS001`` (hot-path darkness) — no tracing/metrics call inside the
+  fused kernel hot paths anchored by
+  :attr:`LintConfig.kernel_hot_functions` (the same anchors ``KRN002``
+  keeps loop-free).  Those functions run per interval per chain row;
+  even a disabled-path guard there is overhead the ``obs_overhead``
+  bench budget does not include.  Instrumentation belongs in the
+  dispatch around them (e.g. ``ClusterKernel.step``), never inside.
+
+The :mod:`repro.obs` package itself is exempt — it is the one place
+spans are legitimately constructed outside a ``with`` header.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import FileChecker, FileContext, register
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import ERROR, Finding, declare
+
+OBS001 = declare(
+    "OBS001", ERROR, "observability misuse (bare span / tracing in hot path)"
+)
+
+#: Callables on the obs module that record instrumentation.
+_OBS_CALLS = {
+    "span",
+    "inc",
+    "observe",
+    "gauge",
+    "counter",
+    "drain_events",
+    "drain_counters",
+}
+
+
+@register
+class ObsChecker(FileChecker):
+    """OBS001: spans via ``with``, no tracing inside fused hot paths."""
+
+    name = "obs-discipline"
+
+    def check(self, ctx: FileContext, config: LintConfig) -> Iterable[Finding]:
+        if ctx.path.startswith("src/repro/obs/"):
+            return []
+
+        # Resolve how (and whether) this module can reach repro.obs.
+        module_aliases: set[str] = set()
+        func_aliases: dict[str, str] = {}  # local name -> obs function
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "repro.obs":
+                        module_aliases.add(alias.asname or "repro.obs")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "repro" :
+                    for alias in node.names:
+                        if alias.name == "obs":
+                            module_aliases.add(alias.asname or "obs")
+                elif node.module == "repro.obs":
+                    for alias in node.names:
+                        if alias.name in _OBS_CALLS:
+                            func_aliases[alias.asname or alias.name] = alias.name
+        if not module_aliases and not func_aliases:
+            return []
+
+        def obs_call(node: ast.Call) -> str | None:
+            """The obs function name a call resolves to, else ``None``."""
+            func = node.func
+            if isinstance(func, ast.Name):
+                return func_aliases.get(func.id)
+            if isinstance(func, ast.Attribute) and func.attr in _OBS_CALLS:
+                value = func.value
+                if isinstance(value, ast.Name) and value.id in module_aliases:
+                    return func.attr
+                # import repro.obs -> repro.obs.span(...)
+                if (
+                    isinstance(value, ast.Attribute)
+                    and isinstance(value.value, ast.Name)
+                    and f"{value.value.id}.{value.attr}" in module_aliases
+                ):
+                    return func.attr
+            return None
+
+        findings: list[Finding] = []
+
+        # Rule 1: every span(...) call must be a with-statement header.
+        with_headers = {
+            id(item.context_expr)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and obs_call(node) == "span"
+                and id(node) not in with_headers
+            ):
+                findings.append(
+                    ctx.finding(
+                        OBS001,
+                        node,
+                        "span must be opened as a context manager "
+                        "(`with obs.span(...):`) — a bare span call records "
+                        "nothing and a manually entered one leaks on error",
+                        checker=self.name,
+                    )
+                )
+
+        # Rule 2: hot paths stay observation-free.
+        hot_functions = config.kernel_hot_functions.get(ctx.path, ())
+        if hot_functions:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                scope = ctx.scope_of(node)
+                qualname = f"{scope}.{node.name}" if scope else node.name
+                if qualname not in hot_functions:
+                    continue
+                for call in ast.walk(node):
+                    if isinstance(call, ast.Call):
+                        name = obs_call(call)
+                        if name is not None:
+                            findings.append(
+                                ctx.finding(
+                                    OBS001,
+                                    call,
+                                    f"tracing call obs.{name}() inside fused "
+                                    f"hot path {qualname!r}; instrument the "
+                                    "dispatch around it, the per-row loop "
+                                    "must stay observation-free",
+                                    checker=self.name,
+                                )
+                            )
+        return findings

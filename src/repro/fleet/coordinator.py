@@ -38,10 +38,12 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro import obs
+from repro.obs import clock
 from repro.fleet.shard import (
     ChainSummary,
     ChainTicket,
@@ -63,7 +65,14 @@ FLEET_FORMAT_VERSION = 1
 
 @dataclass
 class FleetResult:
-    """Structured, JSON-native outcome of one fleet run."""
+    """Structured, JSON-native outcome of one fleet run.
+
+    ``metrics`` is the rolling per-cycle observability series (one
+    snapshot of the :mod:`repro.obs` registry per coordinator cycle) —
+    empty unless the run had instrumentation enabled.  It carries
+    wall-clock-derived values (cycle latency, chain-intervals/sec), so
+    :meth:`comparable` excludes it alongside ``elapsed_s``.
+    """
 
     fleet: dict[str, Any]
     intervals: list[dict[str, Any]]
@@ -72,6 +81,7 @@ class FleetResult:
     cycles: list[dict[str, Any]]
     totals: dict[str, Any]
     elapsed_s: float = 0.0
+    metrics: list[dict[str, Any]] = field(default_factory=list)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready payload (round-trips through :meth:`from_dict`)."""
@@ -84,6 +94,7 @@ class FleetResult:
             "cycles": [dict(c) for c in self.cycles],
             "totals": dict(self.totals),
             "elapsed_s": self.elapsed_s,
+            "metrics": [dict(m) for m in self.metrics],
         }
 
     @classmethod
@@ -100,6 +111,7 @@ class FleetResult:
             cycles=[dict(c) for c in data["cycles"]],
             totals=dict(data["totals"]),
             elapsed_s=float(data.get("elapsed_s", 0.0)),
+            metrics=[dict(m) for m in data.get("metrics", [])],
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:
@@ -129,6 +141,7 @@ class FleetResult:
         """
         out = self.to_dict()
         del out["elapsed_s"]
+        del out["metrics"]
         out["fleet"] = dict(out["fleet"])
         del out["fleet"]["backend"]
         return out
@@ -247,6 +260,15 @@ class FleetCoordinator:
         self._churn_log: list[dict[str, Any]] = []
         self._cycle_log: list[dict[str, Any]] = []
         self._migration_energy_j = 0.0
+        #: Observability bookkeeping.  ``_t0`` anchors the internally
+        #: measured ``elapsed_s`` (see :meth:`result`); the rest feeds
+        #: the per-cycle metrics snapshots — all wall-clock-derived, none
+        #: of it touches the seeded decision path.
+        self._t0 = time.perf_counter()
+        self._last_snap_t: float | None = None
+        self._records_mark = 0
+        self._chain_intervals_total = 0
+        self._metrics_log: list[dict[str, Any]] = []
         make = LocalShard if self.backend == "local" else ShardWorker
         kwargs = {} if self.backend == "local" else {"mp_context": mp_context}
         self.handles: dict[str, Any] = {}
@@ -267,6 +289,7 @@ class FleetCoordinator:
                     # the per-node capacity bound.
                     arena_intervals=fleet.sync_every,
                     arena_chains=shard.nodes * fleet.migration.capacity_per_node,
+                    trace=obs.enabled(),
                 )
                 self.handles[shard.name] = make(config, **kwargs)
         except BaseException:
@@ -331,31 +354,53 @@ class FleetCoordinator:
         pending: tuple[list[ShardReport], int, int] | None = None
         cycle = self._cycle
         for _ in range(n_cycles):
-            for handle in handles:
-                handle.begin_run(self._interval, n)
-            plan = self._plan_cycle(*pending) if pending is not None else None
-            reports = [handle.finish_run() for handle in handles]
-            self._merge_records(reports)
-            self._interval += n
-            if plan is not None:
-                self._apply_cycle(plan)
-            pending = (reports, cycle, self._interval)
-            cycle += 1
-        self._apply_cycle(self._plan_cycle(*pending))
+            with obs.span("fleet/cycle", cycle=cycle):
+                for handle in handles:
+                    handle.begin_run(self._interval, n)
+                if pending is not None:
+                    with obs.span("fleet/plan", cycle=pending[1]):
+                        plan = self._plan_cycle(*pending)
+                else:
+                    plan = None
+                with obs.span("fleet/gather", interval=self._interval):
+                    reports = [handle.finish_run() for handle in handles]
+                self._merge_records(reports)
+                self._interval += n
+                if plan is not None:
+                    self._apply_cycle(plan)
+                pending = (reports, cycle, self._interval)
+                cycle += 1
+            # Spans only move over the pipe between finish_run and the
+            # next begin_run — never while a run is in flight — so the
+            # drain rides the same request/reply ordering as scatter.
+            if obs._ENABLED:
+                self._drain_worker_spans()
+        # The drain half-cycle: plan+apply for the last gathered reports.
+        # Not a "fleet/cycle" span — dashboards count those as cycles run.
+        with obs.span("fleet/drain", cycle=pending[1]):
+            with obs.span("fleet/plan", cycle=pending[1]):
+                plan = self._plan_cycle(*pending)
+            self._apply_cycle(plan)
+        if obs._ENABLED:
+            self._drain_worker_spans()
 
     def _one_cycle(self) -> None:
         """One lockstep cycle (``pipeline_depth=0``): gather, then decide
         and scatter before the shards step again."""
         handles = list(self.handles.values())
         n = self.fleet.sync_every
-        for handle in handles:
-            handle.begin_run(self._interval, n)
-        reports = [handle.finish_run() for handle in handles]
-        self._merge_records(reports)
-        self._interval += n
-        self._apply_cycle(
-            self._plan_cycle(reports, self._cycle, self._interval)
-        )
+        with obs.span("fleet/cycle", cycle=self._cycle):
+            for handle in handles:
+                handle.begin_run(self._interval, n)
+            with obs.span("fleet/gather", interval=self._interval):
+                reports = [handle.finish_run() for handle in handles]
+            self._merge_records(reports)
+            self._interval += n
+            with obs.span("fleet/plan", cycle=self._cycle):
+                plan = self._plan_cycle(reports, self._cycle, self._interval)
+            self._apply_cycle(plan)
+        if obs._ENABLED:
+            self._drain_worker_spans()
 
     def _plan_cycle(
         self, reports: list[ShardReport], cycle: int, interval: int
@@ -441,6 +486,13 @@ class FleetCoordinator:
         reports were gathered; every log row carries the plan's own
         cycle/interval stamps, so the artifact shape is depth-invariant.
         """
+        with obs.span("fleet/apply", cycle=plan.cycle):
+            self._apply_cycle_inner(plan)
+        self._cycle += 1
+        if obs._ENABLED:
+            self._snapshot_metrics(plan)
+
+    def _apply_cycle_inner(self, plan: _CyclePlan) -> None:
         for name, shard in plan.departures:
             self._placement.pop(name)
             self.handles[shard].undeploy(name)
@@ -488,10 +540,13 @@ class FleetCoordinator:
                 "chains": len(self._placement),
             }
         )
-        self._cycle += 1
 
     def _merge_records(self, reports: list[ShardReport]) -> None:
         """Sum per-shard interval rows into fleet-wide records."""
+        with obs.span("fleet/merge", reports=len(reports)):
+            self._merge_records_inner(reports)
+
+    def _merge_records_inner(self, reports: list[ShardReport]) -> None:
         by_index: dict[int, dict[str, Any]] = {}
         for report in reports:
             for row in report.intervals:
@@ -587,9 +642,13 @@ class FleetCoordinator:
                 and self._routing.path_latency_s(path[0], path[-1])
                 > mig.max_path_latency_s
             ):
+                if obs._ENABLED:
+                    obs.inc("fleet/migrations/veto[path_latency]")
                 continue
             net = gain - cost
             if net <= 0:
+                if obs._ENABLED:
+                    obs.inc("fleet/migrations/veto[net_negative]")
                 continue
             candidates.append((net, name, dst, gain, cost, reason, path))
         candidates.sort(key=lambda t: (-t[0], t[1]))
@@ -598,16 +657,26 @@ class FleetCoordinator:
             self._global_index[key]: info.utilization
             for key, info in node_info.items()
         }
-        for net, name, dst, gain, cost, reason, path in candidates:
+        for i, (net, name, dst, gain, cost, reason, path) in enumerate(
+            candidates
+        ):
             if len(moves) >= mig.budget_per_cycle:
+                if obs._ENABLED:
+                    obs.inc(
+                        "fleet/migrations/veto[budget]", len(candidates) - i
+                    )
                 break
             chain = summaries[name]
             cur = self._global_index[placement[name]]
             if counts[dst] >= mig.capacity_per_node:
+                if obs._ENABLED:
+                    obs.inc("fleet/migrations/veto[capacity]")
                 continue
             # SLA headroom: the target's binding stage plus the incoming
             # chain's must stay below the watermark.
             if target_util.get(dst, 0.0) + chain.utilization > mig.headroom:
+                if obs._ENABLED:
+                    obs.inc("fleet/migrations/veto[headroom]")
                 continue
             src_shard = placement[name][0]
             dst_shard = self._global_nodes[dst][0]
@@ -636,6 +705,8 @@ class FleetCoordinator:
             counts[dst] += 1
             counts[cur] -= 1
             target_util[dst] = target_util.get(dst, 0.0) + chain.utilization
+            if obs._ENABLED:
+                obs.inc("fleet/migrations/accepted")
         return moves
 
     def _score_move(
@@ -782,10 +853,100 @@ class FleetCoordinator:
             per_shard.setdefault(shard, {})[name] = knobs
         return tuple(sorted(per_shard.items()))
 
+    # -- observability -----------------------------------------------------
+
+    def _drain_worker_spans(self) -> None:
+        """Pull buffered spans + counter deltas from every shard handle.
+
+        Process-backend handles expose ``drain_spans`` (a pipe round
+        trip); local handles run in-process and already share the
+        registry/tracer, so they have nothing to drain.
+        """
+        tracer = obs.tracer()
+        registry = obs.registry()
+        for handle in self.handles.values():
+            drain = getattr(handle, "drain_spans", None)
+            if drain is None:
+                continue
+            events, counters = drain()
+            if events and tracer is not None:
+                tracer.ingest(events)
+            if counters:
+                registry.merge_counters(counters)
+        if tracer is not None:
+            tracer.flush()
+
+    def _snapshot_metrics(self, plan: _CyclePlan) -> None:
+        """Append one per-cycle snapshot to the rolling metrics series.
+
+        Everything here is derived from already-recorded state plus the
+        sanctioned clock — called strictly after the cycle's decisions
+        are applied, so it cannot perturb a seeded run.
+
+        On the pipelined path the merge order runs one cycle ahead of
+        the apply order, so rows are claimed by interval stamp (records
+        arrive index-sorted): each snapshot takes exactly its own
+        cycle's rows no matter the pipeline depth.  Throughput is a
+        running average over the whole run — a per-window rate would
+        spike on the drain half-cycle, whose gather happened inside the
+        previous window.
+        """
+        now = clock.perf_s()
+        prev = self._last_snap_t if self._last_snap_t is not None else self._t0
+        cycle_s = now - prev
+        self._last_snap_t = now
+        rows = []
+        i = self._records_mark
+        while i < len(self._records) and self._records[i]["index"] < plan.interval:
+            rows.append(self._records[i])
+            i += 1
+        self._records_mark = i
+        energy_j = sum(r["energy_j"] for r in rows)
+        sla_violations = sum(r["sla_violations"] for r in rows)
+        self._chain_intervals_total += sum(r["chains"] for r in rows)
+        elapsed = now - self._t0
+        reg = obs.registry()
+        reg.observe("fleet/cycle_s", cycle_s)
+        reg.gauge("fleet/chains", len(self._placement))
+        snap = reg.snapshot()
+        self._metrics_log.append(
+            {
+                "cycle": plan.cycle,
+                "interval": plan.interval,
+                "cycle_s": cycle_s,
+                "chains": len(self._placement),
+                "chain_intervals_per_s": (
+                    self._chain_intervals_total / elapsed if elapsed > 0 else 0.0
+                ),
+                "energy_j": energy_j,
+                "sla_violations": sla_violations,
+                "migrations": len(self._migrations),
+                "counters": snap["counters"],
+                "histograms": snap["histograms"],
+            }
+        )
+        tracer = obs.tracer()
+        if tracer is not None:
+            ts = clock.now_us()
+            tracer.counter("fleet/energy_j", energy_j, ts=ts)
+            tracer.counter("fleet/sla_violations", sla_violations, ts=ts)
+            tracer.counter("fleet/migrations", len(self._migrations), ts=ts)
+            tracer.counter("fleet/chains", len(self._placement), ts=ts)
+            tracer.flush()
+
     # -- results -----------------------------------------------------------
 
-    def result(self, elapsed_s: float = 0.0) -> FleetResult:
-        """Package everything recorded so far into a result artifact."""
+    def result(self, elapsed_s: float | None = None) -> FleetResult:
+        """Package everything recorded so far into a result artifact.
+
+        ``elapsed_s`` defaults to the coordinator's own construction-to-
+        now wall time (the sanctioned clock); pass a value only to
+        override that measurement — the old ``elapsed_s=0.0`` default
+        silently recorded zero for every caller that forgot to time the
+        run themselves.
+        """
+        if elapsed_s is None:
+            elapsed_s = time.perf_counter() - self._t0
         records = self._records
         sim_energy = sum(r["energy_j"] for r in records)
         throughputs = [r["throughput_gbps"] for r in records]
@@ -834,6 +995,7 @@ class FleetCoordinator:
             cycles=[dict(c) for c in self._cycle_log],
             totals=totals,
             elapsed_s=elapsed_s,
+            metrics=[dict(m) for m in self._metrics_log],
         )
 
 
@@ -870,7 +1032,6 @@ def run_fleet(
         fleet = fleet.with_updates(pipeline_depth=pipeline_depth)
     if placement is not None:
         fleet = fleet.with_updates(placement=placement)
-    t0 = time.perf_counter()
     with FleetCoordinator(
         fleet,
         sla=spec.sla,
@@ -880,7 +1041,7 @@ def run_fleet(
         mp_context=mp_context,
     ) as coordinator:
         coordinator.run_cycles(fleet.cycles)
-        result = coordinator.result(time.perf_counter() - t0)
+        result = coordinator.result()
     if out_path is not None:
         result.save(out_path)
     return result

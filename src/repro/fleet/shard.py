@@ -36,6 +36,7 @@ import traceback
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
+from repro import obs
 from repro.fleet.arena import (
     BANKS,
     CHAIN_FIELDS,
@@ -137,6 +138,10 @@ class ShardConfig:
     #: hard cap on hosted chains (0 = auto-size from the initial layout).
     arena_intervals: int = 64
     arena_chains: int = 0
+    #: When true a spawned worker enables :mod:`repro.obs` in buffered
+    #: mode (spans/counters travel back over the ``drain_spans`` pipe
+    #: round trip).  Set from ``obs.enabled()`` at coordinator build.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -300,6 +305,10 @@ class ShardSim:
         lockstep, and a drifted shard would silently draw the wrong
         counter-based traffic.
         """
+        with obs.span("shard/run", shard=self.config.name, start=start, n=n):
+            return self._run_inner(start, n)
+
+    def _run_inner(self, start: int, n: int) -> ShardReport:
         if n < 1:
             raise ValueError("must run at least one interval")
         if start != self._interval:
@@ -447,20 +456,33 @@ class LocalShard:
         """No resources to release in-process."""
 
 
-def _error_payload(exc: BaseException, *, frames: int = 8) -> tuple[str, str, str]:
-    """An ``("error", summary, trimmed_traceback)`` reply tuple.
+def _error_payload(
+    exc: BaseException,
+    *,
+    frames: int = 8,
+    spans: list[dict[str, Any]] | None = None,
+    counters: dict[str, float] | None = None,
+) -> tuple:
+    """An ``("error", summary, trimmed_traceback[, spans, counters])`` reply.
 
     The worker-side traceback is what makes a shard failure debuggable
     from the parent — ``KeyError: 'c3'`` alone says nothing about which
     ``undeploy``/``set_knobs`` path raised it.  Only the last ``frames``
     stack entries ship (the failure site, not the pipe plumbing), and as
     a plain string: tracebacks themselves do not pickle.
+
+    When the worker is tracing, its buffered spans and counter deltas
+    ride the error reply (``spans``/``counters``), so instrumentation
+    recorded before a crash still reaches the coordinator's trace file.
+    Callers that never trace get the plain 3-tuple unchanged.
     """
     summary = f"{type(exc).__name__}: {exc}"
     trimmed = "".join(
         traceback.format_exception(type(exc), exc, exc.__traceback__, limit=-frames)
     ).rstrip()
-    return ("error", summary, trimmed)
+    if spans is None:
+        return ("error", summary, trimmed)
+    return ("error", summary, trimmed, spans, counters or {})
 
 
 def shard_worker(config: ShardConfig, conn, arena_name: str) -> None:
@@ -480,6 +502,10 @@ def shard_worker(config: ShardConfig, conn, arena_name: str) -> None:
     telemetry ack written against a stale chain set is detected instead
     of silently mis-mapping arena rows to chain names.
     """
+    if config.trace:
+        # Fresh buffered tracer/registry — any obs state inherited over a
+        # fork (the parent's open trace file!) is abandoned, never closed.
+        obs.enable_worker(f"shard-{config.name}")
     try:
         sim = ShardSim(config)
         arena = TelemetryArena.attach(arena_name, arena_layout_for(config))
@@ -535,10 +561,22 @@ def shard_worker(config: ShardConfig, conn, arena_name: str) -> None:
                 elif kind == "knobs":
                     sim.set_knobs(msg[1])
                     conn.send(("ok",))
+                elif kind == "drain_spans":
+                    # Buffered trace events + counter deltas; both empty
+                    # lists/dicts when the worker is not tracing.
+                    conn.send(
+                        ("spans", obs.drain_events(), obs.drain_counters())
+                    )
                 else:
                     conn.send(("error", f"unknown message {kind!r}"))
             except Exception as exc:  # keep the worker alive; report back
-                conn.send(_error_payload(exc))
+                conn.send(
+                    _error_payload(
+                        exc,
+                        spans=obs.drain_events() if config.trace else None,
+                        counters=obs.drain_counters(),
+                    )
+                )
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         return
     finally:
@@ -575,6 +613,11 @@ class ShardWorker:
         self._closed = False
         self._conn = None
         self._proc = None
+        #: Crash forensics: the opcode awaiting its reply and the last
+        #: interval a completed run reached — both reported when the
+        #: worker dies without replying.
+        self._pending_op: str | None = "spawn"
+        self._last_interval = 0
         try:
             parent_conn, child_conn = ctx.Pipe()
             self._conn = parent_conn
@@ -594,17 +637,31 @@ class ShardWorker:
             msg = self._conn.recv()
         except (EOFError, ConnectionResetError):
             # EOF for an orderly peer close, ECONNRESET when the worker
-            # process was killed outright mid-command.
+            # process was killed outright mid-command.  Report what the
+            # coordinator knows: the opcode whose reply never came and
+            # how far the shard had advanced before it died.
             raise RuntimeError(
-                f"shard {self.name!r} worker died without replying"
+                f"shard {self.name!r} worker died without replying "
+                f"(pending op {self._pending_op!r}, {self._runs} cycle(s) "
+                f"completed, last interval {self._last_interval})"
             ) from None
         if msg[0] == "error":
+            # A tracing worker's error reply carries its buffered spans
+            # and counter deltas — salvage them before raising, so
+            # instrumentation up to the crash lands in the trace.
+            if len(msg) > 4 and obs.enabled():
+                tracer = obs.tracer()
+                if tracer is not None and msg[3]:
+                    tracer.ingest(msg[3])
+                if msg[4]:
+                    obs.registry().merge_counters(msg[4])
             detail = msg[1]
             if len(msg) > 2 and msg[2]:
                 detail = f"{detail}\n--- worker traceback ---\n{msg[2]}"
             raise RuntimeError(f"shard {self.name!r} worker: {detail}")
         if msg[0] != expect:  # pragma: no cover - protocol bug
             raise RuntimeError(f"shard {self.name!r}: expected {expect!r}, got {msg[0]!r}")
+        self._pending_op = None
         if len(msg) > 2:
             return tuple(msg[1:])
         return msg[1] if len(msg) > 1 else None
@@ -613,6 +670,7 @@ class ShardWorker:
         """Dispatch one run command without waiting for the ack."""
         if self._in_flight:
             raise RuntimeError("previous run not collected")
+        self._pending_op = "run"
         self._conn.send(("run", start, n))
         self._run_span = (start, n)
         self._in_flight = True
@@ -638,7 +696,9 @@ class ShardWorker:
                 f"{self._generation}, span {(start, n)}/{self._run_span}, "
                 f"chains {n_chains}/{len(self._tickets)})"
             )
-        return self._load_report(bank, start, n)
+        self._last_interval = start + n
+        with obs.span("shard/arena_rebuild", shard=self.name, bank=bank):
+            return self._load_report(bank, start, n)
 
     def _load_report(self, bank: int, start: int, n: int) -> ShardReport:
         """Arena bank -> :class:`ShardReport` (scalar copies off the
@@ -711,24 +771,39 @@ class ShardWorker:
 
     def deploy(self, ticket: ChainTicket) -> None:
         """Deploy a ticketed chain (synchronous; resyncs the row map)."""
+        self._pending_op = "deploy"
         self._conn.send(("deploy", ticket))
         self._recv("ok")
         self._tickets[ticket.name] = ticket
         self._generation += 1
+        if obs._ENABLED:
+            obs.inc("fleet/arena/generation_bumps")
 
     def undeploy(self, name: str) -> ChainTicket:
         """Remove a chain; returns its migration ticket (synchronous;
         resyncs the row map)."""
+        self._pending_op = "undeploy"
         self._conn.send(("undeploy", name))
         ticket = self._recv("ticket")
         del self._tickets[name]
         self._generation += 1
+        if obs._ENABLED:
+            obs.inc("fleet/arena/generation_bumps")
         return ticket
 
     def set_knobs(self, updates: Mapping[str, Mapping[str, Any]]) -> None:
         """Apply per-chain knob settings (synchronous)."""
+        self._pending_op = "knobs"
         self._conn.send(("knobs", dict(updates)))
         self._recv("ok")
+
+    def drain_spans(self) -> tuple[list[dict[str, Any]], dict[str, float]]:
+        """Pull the worker's buffered trace events and counter deltas
+        (synchronous; coordinator calls this between cycles)."""
+        self._pending_op = "drain_spans"
+        self._conn.send(("drain_spans",))
+        events, counters = self._recv("spans")
+        return events, counters
 
     def close(self) -> None:
         """Stop the worker, reap its process and reclaim the arena."""

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.nfv.engine import (
     ChainKernelPlan,
     MultiChainTelemetry,
@@ -214,15 +215,29 @@ class ClusterKernel:
 
         self.last_telemetry = None
         # Cross-chain contention derives from (generation, frame sizes),
-        # so the plan cache keys on exactly those.
+        # so the plan cache keys on exactly those.  The dispatch (not the
+        # fused loop) is the sanctioned instrumentation point: plan-cache
+        # hit/miss counters and the compile span live here, while
+        # ``_step_fused`` stays observation-free (KRN002 hot path).
         key = (gens, tuple(all_pkts))
         if not self._fusable or not all_loads:
+            if obs._ENABLED:
+                obs.inc("kernel/plan_cache/fallback")
             return self._step_per_node(offered, dt_s)
         if self._plan_key == key:
+            if obs._ENABLED:
+                obs.inc("kernel/plan_cache/hit")
             return self._step_fused(all_loads, dt_s)
         if self._plan_candidate == key:
-            self._compile(key)
+            if obs._ENABLED:
+                obs.inc("kernel/plan_cache/promote")
+                with obs.span("kernel/compile", rows=len(all_pkts)):
+                    self._compile(key)
+            else:
+                self._compile(key)
             return self._step_fused(all_loads, dt_s)
+        if obs._ENABLED:
+            obs.inc("kernel/plan_cache/miss")
         self._plan_candidate = key
         return self._step_per_node(offered, dt_s)
 

@@ -1,0 +1,189 @@
+"""Chrome-trace-format tracing: nestable spans, counters, JSONL output.
+
+The :class:`Tracer` records *complete* span events (``ph="X"``) and
+counter samples (``ph="C"``) in the `Chrome trace event format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_,
+so a ``--trace out.trace.jsonl`` file loads directly into Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``.  The file is a JSON
+array written incrementally — a ``[`` header line, then one
+``{...},``-terminated event per line — which both viewers accept
+without the closing bracket, so a trace from a crashed (or still
+running) process is always loadable.
+
+Span timestamps come from :func:`repro.obs.clock.now_us` (epoch
+microseconds), so spans recorded in shard-worker processes merge into
+the coordinator's timeline on a shared axis: each worker runs a
+*buffered* tracer (no file), and its events travel to the parent over
+the existing pipe protocol (``drain_spans`` → ``("spans", ...)``) where
+:meth:`Tracer.ingest` merges them in timestamp order.  Per-process
+``process_name`` metadata events (``ph="M"``) label each pid's track.
+
+The disabled path allocates nothing: :data:`NULL_SPAN` is one stateless
+module-level context manager that :func:`repro.obs.span` hands out when
+tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.obs import clock
+
+
+class _NullSpan:
+    """The do-nothing span: one shared instance, zero per-call state."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The singleton handed out whenever tracing is disabled.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span: times the ``with`` body, emits on exit."""
+
+    __slots__ = ("_tracer", "name", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+        self._t0 = 0
+
+    def __enter__(self) -> "Span":
+        self._t0 = clock.now_us()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self._tracer.emit(
+            {
+                "name": self.name,
+                "ph": "X",
+                "ts": self._t0,
+                "dur": clock.now_us() - self._t0,
+                "pid": self._tracer.pid,
+                "tid": 0,
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class Tracer:
+    """Span/counter recorder: streaming (``path``) or buffered (worker).
+
+    With ``path`` the tracer owns a JSONL file: the ``[`` header and the
+    process-name metadata event are written at construction, and
+    :meth:`flush` appends the pending events (the coordinator flushes
+    once per cycle, so a live ``repro top`` sees rolling data).  Without
+    ``path`` the tracer only buffers — shard workers run this mode and
+    the parent pulls their events over the pipe via :meth:`drain`.
+    """
+
+    def __init__(self, path=None, *, label: str | None = None):
+        self.pid = os.getpid()
+        self.label = label or f"pid-{self.pid}"
+        self._pending: list[dict[str, Any]] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": 0,
+                "args": {"name": self.label},
+            }
+        ]
+        self._fh = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "w", encoding="utf-8")
+            self._fh.write("[\n")
+            self.flush()
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **args: Any) -> Span:
+        """A context manager timing its body as one complete event."""
+        return Span(self, name, args)
+
+    def counter(self, name: str, value: float, *, ts: int | None = None) -> None:
+        """One counter sample (a ``ph="C"`` series point)."""
+        self.emit(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": clock.now_us() if ts is None else ts,
+                "pid": self.pid,
+                "tid": 0,
+                "args": {"value": value},
+            }
+        )
+
+    def emit(self, event: dict[str, Any]) -> None:
+        """Append one raw trace event to the pending buffer."""
+        self._pending.append(event)
+
+    def ingest(self, events: Iterable[dict[str, Any]]) -> None:
+        """Merge externally recorded events (worker spans) by timestamp.
+
+        The pending buffer is re-sorted on ``ts`` (stable, metadata
+        events carry ``ts=0`` and stay in front), so each flushed batch
+        lands in the file in timeline order even when worker spans
+        arrive after the coordinator's own spans for the same cycle.
+        """
+        self._pending.extend(events)
+        self._pending.sort(key=lambda e: e.get("ts", 0))
+
+    # -- draining ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def drain(self) -> list[dict[str, Any]]:
+        """Hand over (and clear) the pending events — the worker side of
+        the ``drain_spans`` pipe round trip."""
+        events, self._pending = self._pending, []
+        return events
+
+    def flush(self) -> None:
+        """Write pending events to the trace file (no-op when buffered)."""
+        if self._fh is None:
+            return
+        for event in self.drain():
+            self._fh.write(json.dumps(event, sort_keys=True) + ",\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and release the trace file (buffered events survive)."""
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+
+def read_trace(path) -> list[dict[str, Any]]:
+    """Load a trace file back into a list of event dicts.
+
+    Tolerates exactly what the incremental writer produces: the ``[``
+    header, one event per line with a trailing comma, and a missing
+    closing bracket (trace of a still-running or crashed process).
+    """
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip().rstrip(",")
+            if not line or line in ("[", "]"):
+                continue
+            events.append(json.loads(line))
+    return events

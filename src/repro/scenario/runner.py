@@ -26,6 +26,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.baselines.oracle import OBJECTIVES, score_candidates
 from repro.nfv.engine import EngineParams
 from repro.scenario.catalog import CHAINS, CONTROLLERS, SLAS, TRAFFIC
@@ -229,8 +230,12 @@ def run(
             CONTROLLERS.get(spec.controller),
             dict(spec.controller_params),
         )
-    history = controller.fit(ctx) if fit else None
-    points = controller.rollout(ctx, spec.intervals)
+    with obs.span(
+        "scenario/fit", scenario=spec.name, controller=spec.controller
+    ):
+        history = controller.fit(ctx) if fit else None
+    with obs.span("scenario/rollout", intervals=spec.intervals):
+        points = controller.rollout(ctx, spec.intervals)
     result = RunResult(
         spec=spec,
         metrics=_metrics(points, spec),

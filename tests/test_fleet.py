@@ -500,11 +500,35 @@ class TestProcessBackend:
         worker._proc.join(timeout=10.0)
         with pytest.raises(
             RuntimeError, match="shard 'victim' worker died without replying"
-        ):
+        ) as excinfo:
             worker.finish_run()
+        # The error reports the coordinator's view of the crash: which
+        # opcode never got its reply and how far the shard had advanced.
+        msg = str(excinfo.value)
+        assert "pending op 'run'" in msg
+        assert "0 cycle(s) completed" in msg
+        assert "last interval 0" in msg
         worker.close()  # reaping an already-dead worker must not raise
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=arena_name)
+
+    @pytest.mark.fleet_mp
+    def test_killed_worker_reports_completed_cycles(self):
+        # After one successful cycle the crash report must carry the
+        # advanced cycle count and interval watermark.
+        worker = ShardWorker(shard_config(name="victim", arena_intervals=256))
+        worker.begin_run(0, 2)
+        worker.finish_run()
+        worker.begin_run(2, 256)
+        worker._proc.kill()
+        worker._proc.join(timeout=10.0)
+        with pytest.raises(RuntimeError) as excinfo:
+            worker.finish_run()
+        msg = str(excinfo.value)
+        assert "pending op 'run'" in msg
+        assert "1 cycle(s) completed" in msg
+        assert "last interval 2" in msg
+        worker.close()
 
     @pytest.mark.fleet_mp
     def test_close_reclaims_arena_after_worker_crash_mid_run(self):

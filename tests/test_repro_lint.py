@@ -88,7 +88,10 @@ class TestShippedTreeIsClean:
     def test_cli_list_codes(self, capsys):
         assert repro_main(["lint", "--list-codes"]) == 0
         out = capsys.readouterr().out
-        for code in ("RNG001", "TIME001", "KRN001", "MP001", "EXC001", "SPEC001"):
+        for code in (
+            "RNG001", "TIME001", "KRN001", "MP001", "EXC001", "SPEC001",
+            "OBS001",
+        ):
             assert code in out
 
 
@@ -326,6 +329,100 @@ class TestKernelChecker:
         report = lint_tree(tmp_path, {"src/plan.py": source}, config=KERNEL_CFG)
         assert codes(report) == ["KRN000"]
         assert len(report.findings) == 2  # class anchor + hot-function anchor
+
+
+# ---------------------------------------------------------------------------
+# Observability discipline
+# ---------------------------------------------------------------------------
+
+
+class TestObsChecker:
+    def test_bare_span_is_caught(self, tmp_path):
+        # A span opened without `with` never closes → no event is ever
+        # emitted and nesting breaks silently.
+        report = lint_tree(
+            tmp_path,
+            {
+                "src/mod.py": """
+                from repro import obs
+
+                def work():
+                    s = obs.span("work/loop", n=3)
+                    return s
+                """
+            },
+        )
+        assert "OBS001" in codes(report)
+
+    def test_bare_span_via_function_alias(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "src/mod.py": """
+                from repro.obs import span
+
+                def work():
+                    span("work/loop")
+                """
+            },
+        )
+        assert "OBS001" in codes(report)
+
+    def test_with_span_is_clean(self, tmp_path):
+        report = lint_tree(
+            tmp_path,
+            {
+                "src/mod.py": """
+                from repro import obs
+
+                def work():
+                    with obs.span("work/loop", n=3):
+                        with obs.span("work/inner"):
+                            obs.inc("work/count")
+                """
+            },
+        )
+        assert [c for c in codes(report) if c == "OBS001"] == []
+
+    def test_tracing_inside_hot_function_is_caught(self, tmp_path):
+        # Instrumentation belongs at the dispatch layer; the fused hot
+        # path must stay dark even when tracing is disabled.
+        cfg = dataclasses.replace(
+            BARE, kernel_hot_functions={"src/plan.py": ("Plan.step",)}
+        )
+        report = lint_tree(
+            tmp_path,
+            {
+                "src/plan.py": """
+                from repro import obs
+
+                class Plan:
+                    def step(self, loads):
+                        obs.inc("plan/steps")
+                        return loads
+                """
+            },
+            config=cfg,
+        )
+        assert "OBS001" in codes(report)
+
+    def test_obs_package_itself_is_exempt(self, tmp_path):
+        # The tracer's own implementation constructs Span objects
+        # directly; the discipline rules target call sites, not the
+        # subsystem.
+        report = lint_tree(
+            tmp_path,
+            {
+                "src/repro/obs/trace.py": """
+                from repro import obs
+
+                def helper():
+                    s = obs.span("x")
+                    return s
+                """
+            },
+        )
+        assert [c for c in codes(report) if c == "OBS001"] == []
 
 
 # ---------------------------------------------------------------------------
